@@ -1,0 +1,5 @@
+# sample constraints for the alu2 benchmark
+create_clock -period 900.0 -name clk
+set_input_delay 10.0 -clock clk [get_ports cin]
+set_output_delay 60.0 -clock clk [get_ports cout]
+set_output_delay 40.0 -clock clk [get_ports zero]
