@@ -1,0 +1,169 @@
+(* Benchmark harness: regenerates every table and figure of the paper, then
+   runs Bechamel micro-benchmarks of the engines involved in each one.
+
+     dune exec bench/main.exe               -- full reproduction (Table 1 over
+                                               the whole suite; takes minutes)
+     dune exec bench/main.exe -- --quick    -- small-circuit subset
+     dune exec bench/main.exe -- table1|fig1|fig3|fig4|approx|ablation|micro
+
+   Absolute numbers are not expected to match the paper (our substrate is a
+   generated library and profile-matched circuits, not the authors' 90nm
+   flow); EXPERIMENTS.md tracks paper-vs-measured shape for every artifact. *)
+
+let lib = Lazy.force Cells.Library.default
+
+let quick = Array.exists (fun a -> a = "--quick") Sys.argv
+
+let wants section =
+  let explicit =
+    Array.to_list Sys.argv |> List.tl
+    |> List.filter (fun a -> not (String.length a >= 2 && String.sub a 0 2 = "--"))
+  in
+  match explicit with [] -> true | names -> List.mem section names
+
+let heading title = Fmt.pr "@.=== %s ===@." title
+
+(* ---- Table 1 ------------------------------------------------------------- *)
+
+let quick_names = [ "alu1"; "alu2"; "alu3"; "c432"; "c499"; "c880" ]
+
+let run_table1 () =
+  heading "Table 1 — sigma/mean reduction across the benchmark suite";
+  let names = if quick then quick_names else Benchgen.Iscas_like.names in
+  let rows = Experiments.Table1.run ~names ~lib () in
+  Fmt.pr "%a" Experiments.Table1.pp rows;
+  let shape = Experiments.Table1.shape rows in
+  Fmt.pr
+    "shape: sigma reduced everywhere=%b, alpha-monotone fraction=%.2f, mean \
+     within 10%%=%b, area increases=%b@."
+    shape.Experiments.Table1.all_sigma_reduced
+    shape.Experiments.Table1.monotone_alpha_fraction
+    shape.Experiments.Table1.mean_within_10_pct
+    shape.Experiments.Table1.area_increases
+
+(* ---- figures ------------------------------------------------------------- *)
+
+let run_fig1 () =
+  heading "Fig. 1 — output delay pdf at three optimization points";
+  let r = Experiments.Fig1.run ~lib () in
+  Fmt.pr "%a" Experiments.Fig1.pp r;
+  Fmt.pr "  pdf series (delay_ps probability_mass):@.";
+  List.iter
+    (fun (label, points) ->
+      Fmt.pr "  # %s@." label;
+      List.iter (fun (x, p) -> Fmt.pr "  %.2f %.5f@." x p) points)
+    (Experiments.Fig1.to_series r)
+
+let run_fig3 () =
+  heading "Fig. 3 — WNSS tracing on the paper's 6-gate example";
+  Fmt.pr "%a" Experiments.Fig3.pp (Experiments.Fig3.trace ())
+
+let run_fig4 () =
+  heading "Fig. 4 — normalized mean/sigma trade-off for c432";
+  Fmt.pr "%a" Experiments.Fig4.pp (Experiments.Fig4.run ~lib ())
+
+let run_approx () =
+  heading "Sec. 4.3 — approximation study";
+  Fmt.pr "%a" Experiments.Approx.pp_erf (Experiments.Approx.erf_study ());
+  Fmt.pr "%a" Experiments.Approx.pp_max
+    (Experiments.Approx.max_study ~cases:(if quick then 150 else 500) ());
+  Fmt.pr "%a" Experiments.Approx.pp_cutoffs
+    (Experiments.Approx.cutoff_study ~lib ())
+
+let run_ablation () =
+  heading "ablation — sizer design choices (c432, alpha=9)";
+  Fmt.pr "%a" Experiments.Ablation.pp (Experiments.Ablation.run ~lib ())
+
+(* ---- Bechamel micro-benchmarks -------------------------------------------- *)
+
+let micro_tests () =
+  let open Bechamel in
+  let alu = Benchgen.Alu.generate ~lib ~bits:8 () in
+  let _ = Core.Initial_sizing.apply ~lib alu in
+  let c432 = Benchgen.Iscas_like.build_exn ~lib "c432" in
+  let _ = Core.Initial_sizing.apply ~lib c432 in
+  let electrical = Sta.Electrical.compute c432 in
+  let scratch =
+    Array.make (Netlist.Circuit.size c432)
+      (Numerics.Clark.moments ~mean:0.0 ~var:0.0)
+  in
+  let a = Numerics.Clark.moments ~mean:100.0 ~var:81.0 in
+  let b = Numerics.Clark.moments ~mean:104.0 ~var:144.0 in
+  let pa = Numerics.Discrete_pdf.of_normal ~samples:12 ~mean:100.0 ~sigma:9.0 () in
+  let pb = Numerics.Discrete_pdf.of_normal ~samples:12 ~mean:104.0 ~sigma:12.0 () in
+  [
+    (* Table 1's engines: the nested-analysis speed gap FASSTA exists for *)
+    Test.make ~name:"fassta_c432_pass"
+      (Staged.stage (fun () ->
+           Ssta.Fassta.propagate_into ~model:Variation.Model.default
+             ~circuit:c432 ~electrical scratch));
+    Test.make ~name:"fullssta_c432_pass"
+      (Staged.stage (fun () -> ignore (Ssta.Fullssta.run c432)));
+    Test.make ~name:"deterministic_sta_c432"
+      (Staged.stage (fun () -> ignore (Sta.Analysis.analyze c432)));
+    Test.make ~name:"monte_carlo_100_trials_alu8"
+      (Staged.stage (fun () ->
+           ignore
+             (Ssta.Monte_carlo.run
+                ~config:{ Ssta.Monte_carlo.default_config with trials = 100 }
+                alu)));
+    (* Sec. 4.3's max operator: quadratic-cutoff Clark vs exact vs discrete *)
+    Test.make ~name:"clark_max_fast"
+      (Staged.stage (fun () -> ignore (Numerics.Clark.max_fast a b)));
+    Test.make ~name:"clark_max_exact"
+      (Staged.stage (fun () -> ignore (Numerics.Clark.max_exact a b)));
+    Test.make ~name:"discrete_pdf_max"
+      (Staged.stage (fun () -> ignore (Numerics.Discrete_pdf.max2 pa pb)));
+    Test.make ~name:"discrete_pdf_sum_resample"
+      (Staged.stage (fun () ->
+           ignore
+             (Numerics.Discrete_pdf.resample
+                (Numerics.Discrete_pdf.sum pa pb)
+                ~samples:12)));
+    (* Fig. 3's primitive: one WNSS trace (including its FULLSSTA pass) *)
+    Test.make ~name:"wnss_trace_c432"
+      (Staged.stage (fun () ->
+           let full = Ssta.Fullssta.run c432 in
+           ignore (Core.Wnss.trace ~model:Variation.Model.default c432 full)));
+  ]
+
+let run_micro () =
+  heading "Bechamel micro-benchmarks (engines behind each artifact)";
+  let open Bechamel in
+  let open Bechamel.Toolkit in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.6) () in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let grouped =
+    Test.make_grouped ~name:"statsize" ~fmt:"%s/%s" (micro_tests ())
+  in
+  let raw = Benchmark.all cfg instances grouped in
+  let results = List.map (fun i -> Analyze.all ols i raw) instances in
+  let merged = Analyze.merge ols instances results in
+  Hashtbl.iter
+    (fun _metric tbl ->
+      let rows =
+        Hashtbl.fold (fun name result acc -> (name, result) :: acc) tbl []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      in
+      List.iter
+        (fun (name, result) ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Fmt.pr "  %-32s %14.1f ns/run@." name est
+          | _ -> Fmt.pr "  %-32s (no estimate)@." name)
+        rows)
+    merged
+
+let () =
+  Fmt.pr "statsize paper-reproduction bench%s@."
+    (if quick then " (--quick)" else "");
+  if wants "table1" then run_table1 ();
+  if wants "fig1" then run_fig1 ();
+  if wants "fig3" then run_fig3 ();
+  if wants "fig4" then run_fig4 ();
+  if wants "approx" then run_approx ();
+  if wants "ablation" then run_ablation ();
+  if wants "micro" then run_micro ();
+  Fmt.pr "@.done.@."

@@ -1,0 +1,379 @@
+(* statsize — command-line front end.
+
+   Subcommands:
+     list                    show the built-in benchmark suite
+     info     CIRCUIT        structural metrics
+     analyze  CIRCUIT        deterministic + statistical timing summary
+     optimize CIRCUIT        baseline + StatisticalGreedy at one alpha
+     paths    CIRCUIT        K worst paths with per-path miss probability
+     slack    CIRCUIT        statistical required times / slack summary
+     pca      CIRCUIT        correlation-aware SSTA vs the independent engines
+     dot      CIRCUIT FILE   Graphviz export with the WNSS cone highlighted
+     table1 / fig1 / fig3 / fig4 / approx
+                             regenerate the paper's experiments
+     export   CIRCUIT FILE   write a suite circuit as .bench
+     liberty  FILE           dump the generated cell library *)
+
+open Cmdliner
+
+let lib = Lazy.force Cells.Library.default
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Enable debug logging.")
+
+let circuit_arg =
+  let doc = "Benchmark circuit name (see $(b,statsize list)) or a .bench file." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"CIRCUIT" ~doc)
+
+let build_circuit name =
+  if Sys.file_exists name then Netlist.Bench_io.load ~lib ~path:name ()
+  else
+    match Benchgen.Iscas_like.find name with
+    | Some entry -> entry.Benchgen.Iscas_like.build ~lib
+    | None ->
+        Fmt.failwith "unknown circuit %s (try `statsize list` or a .bench path)"
+          name
+
+(* ---- subcommands ------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    Fmt.pr "built-in benchmark suite:@.";
+    List.iter
+      (fun name ->
+        let c = build_circuit name in
+        Fmt.pr "  %a@." Netlist.Metrics.pp (Netlist.Metrics.compute c))
+      Benchgen.Iscas_like.names
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the built-in benchmark suite")
+    Term.(const run $ const ())
+
+let info_cmd =
+  let run name =
+    let c = build_circuit name in
+    Fmt.pr "%a@." Netlist.Metrics.pp (Netlist.Metrics.compute c);
+    let m = Netlist.Metrics.compute c in
+    List.iter (fun (fn, n) -> Fmt.pr "  %-8s %d@." fn n) m.Netlist.Metrics.fn_histogram
+  in
+  Cmd.v (Cmd.info "info" ~doc:"Show structural metrics for a circuit")
+    Term.(const run $ circuit_arg)
+
+let trials_arg =
+  Arg.(value & opt int 2000 & info [ "trials" ] ~doc:"Monte-Carlo trials.")
+
+let analyze_cmd =
+  let run name trials =
+    let c = build_circuit name in
+    let _ = Core.Initial_sizing.apply ~lib c in
+    let det = Sta.Analysis.analyze c in
+    Fmt.pr "deterministic: max arrival %.2f ps (critical path %d nodes)@."
+      (Sta.Analysis.max_arrival det)
+      (List.length (Sta.Analysis.critical_path det));
+    let full = Ssta.Fullssta.run c in
+    let m = Ssta.Fullssta.output_moments full in
+    Fmt.pr "FULLSSTA: mu=%.2f sigma=%.2f sigma/mean=%.4f@." m.Numerics.Clark.mean
+      (Numerics.Clark.sigma m)
+      (Ssta.Fullssta.sigma_over_mean full);
+    let stats = Ssta.Fassta.make_stats () in
+    let fast = Ssta.Fassta.run ~stats c in
+    let fm = Ssta.Fassta.output_moments c fast in
+    Fmt.pr "FASSTA:   mu=%.2f sigma=%.2f (cutoff hit rate %.0f%%)@."
+      fm.Numerics.Clark.mean (Numerics.Clark.sigma fm)
+      (100.0 *. Ssta.Fassta.cutoff_fraction stats);
+    let mc =
+      Ssta.Monte_carlo.run
+        ~config:{ Ssta.Monte_carlo.default_config with trials }
+        c
+    in
+    let s = Ssta.Monte_carlo.circuit_stats mc in
+    Fmt.pr "MonteCarlo (%d trials): mu=%.2f sigma=%.2f@." trials
+      (Numerics.Stats.mean s) (Numerics.Stats.std s)
+  in
+  Cmd.v (Cmd.info "analyze" ~doc:"Timing analysis with all three engines")
+    Term.(const run $ circuit_arg $ trials_arg)
+
+let alpha_arg =
+  Arg.(value & opt float 3.0 & info [ "alpha" ] ~doc:"Variance weight α.")
+
+let no_recover_arg =
+  Arg.(value & flag & info [ "no-recover" ] ~doc:"Skip the area-recovery pass.")
+
+let optimize_cmd =
+  let run verbose name alpha no_recover =
+    setup_logs verbose;
+    let baseline = Experiments.Pipeline.prepare ~lib (fun () -> build_circuit name) in
+    Fmt.pr "baseline (mean-optimized): mu=%.2f sigma=%.2f area=%.1f@."
+      baseline.Experiments.Pipeline.moments.Numerics.Clark.mean
+      (Numerics.Clark.sigma baseline.Experiments.Pipeline.moments)
+      baseline.Experiments.Pipeline.area;
+    let r =
+      Experiments.Pipeline.run_alpha ~recover:(not no_recover) ~lib baseline ~alpha
+    in
+    Fmt.pr
+      "alpha=%g: dmu=%+.1f%% dsigma=%+.1f%% sigma/mean %.4f -> %.4f darea=%+.1f%% \
+       (%d iterations, %d resizes, %.1f s)@."
+      alpha r.Experiments.Pipeline.mean_change_pct
+      r.Experiments.Pipeline.sigma_change_pct
+      (Experiments.Pipeline.sigma_over_mean baseline.Experiments.Pipeline.moments)
+      r.Experiments.Pipeline.final_sigma_over_mean
+      r.Experiments.Pipeline.area_change_pct r.Experiments.Pipeline.iterations
+      r.Experiments.Pipeline.resizes r.Experiments.Pipeline.runtime_s
+  in
+  Cmd.v (Cmd.info "optimize" ~doc:"Run StatisticalGreedy on a circuit")
+    Term.(const run $ verbose_arg $ circuit_arg $ alpha_arg $ no_recover_arg)
+
+let names_arg =
+  Arg.(
+    value
+    & opt (some (list string)) None
+    & info [ "circuits" ] ~doc:"Comma-separated subset of suite circuits.")
+
+let csv_arg =
+  Arg.(value & opt (some string) None & info [ "csv" ] ~doc:"Write CSV to FILE.")
+
+let table1_cmd =
+  let run names csv =
+    let names = Option.value ~default:Benchgen.Iscas_like.names names in
+    let rows = Experiments.Table1.run ~names ~lib () in
+    Fmt.pr "%a" Experiments.Table1.pp rows;
+    Option.iter
+      (fun path ->
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc (Experiments.Table1.to_csv rows));
+        Fmt.pr "wrote %s@." path)
+      csv
+  in
+  Cmd.v (Cmd.info "table1" ~doc:"Reproduce Table 1") Term.(const run $ names_arg $ csv_arg)
+
+let fig1_cmd =
+  let run () = Fmt.pr "%a" Experiments.Fig1.pp (Experiments.Fig1.run ~lib ()) in
+  Cmd.v (Cmd.info "fig1" ~doc:"Reproduce Fig. 1") Term.(const run $ const ())
+
+let fig3_cmd =
+  let run () = Fmt.pr "%a" Experiments.Fig3.pp (Experiments.Fig3.trace ()) in
+  Cmd.v (Cmd.info "fig3" ~doc:"Reproduce Fig. 3") Term.(const run $ const ())
+
+let fig4_cmd =
+  let run () = Fmt.pr "%a" Experiments.Fig4.pp (Experiments.Fig4.run ~lib ()) in
+  Cmd.v (Cmd.info "fig4" ~doc:"Reproduce Fig. 4") Term.(const run $ const ())
+
+let ablation_cmd =
+  let run () = Fmt.pr "%a" Experiments.Ablation.pp (Experiments.Ablation.run ~lib ()) in
+  Cmd.v (Cmd.info "ablation" ~doc:"Ablation over sizer design choices")
+    Term.(const run $ const ())
+
+let approx_cmd =
+  let run () =
+    Fmt.pr "%a" Experiments.Approx.pp_erf (Experiments.Approx.erf_study ());
+    Fmt.pr "%a" Experiments.Approx.pp_max (Experiments.Approx.max_study ());
+    Fmt.pr "%a" Experiments.Approx.pp_cutoffs
+      (Experiments.Approx.cutoff_study ~lib ())
+  in
+  Cmd.v
+    (Cmd.info "approx" ~doc:"Reproduce the §4.3 approximation study")
+    Term.(const run $ const ())
+
+let path_arg =
+  Arg.(required & pos 1 (some string) None & info [] ~docv:"FILE" ~doc:"Output path.")
+
+let export_cmd =
+  let run name path =
+    let c = build_circuit name in
+    Netlist.Bench_io.save c ~path;
+    Fmt.pr "wrote %s@." path
+  in
+  Cmd.v (Cmd.info "export" ~doc:"Write a circuit as .bench")
+    Term.(const run $ circuit_arg $ path_arg)
+
+let verilog_cmd =
+  let run name path =
+    let c = build_circuit name in
+    Netlist.Verilog.save ~module_name:name c ~path;
+    Fmt.pr "wrote %s@." path
+  in
+  Cmd.v (Cmd.info "verilog" ~doc:"Write a circuit as structural Verilog")
+    Term.(const run $ circuit_arg $ path_arg)
+
+let sdf_cmd =
+  let run name path =
+    let c = build_circuit name in
+    let _ = Core.Initial_sizing.apply ~lib c in
+    let e = Sta.Electrical.compute c in
+    Sta.Sdf.save ~design:name c e ~path;
+    Fmt.pr "wrote %s@." path
+  in
+  Cmd.v
+    (Cmd.info "sdf" ~doc:"Write SDF delays with statistical +-3 sigma corners")
+    Term.(const run $ circuit_arg $ path_arg)
+
+let power_cmd =
+  let run name trials =
+    let c = build_circuit name in
+    let _ = Core.Initial_sizing.apply ~lib c in
+    let r =
+      Ssta.Power_analysis.run
+        ~config:{ Ssta.Power_analysis.default_config with trials }
+        c
+    in
+    Fmt.pr "%a@." Ssta.Power_analysis.pp r
+  in
+  Cmd.v (Cmd.info "power" ~doc:"Dynamic power and die-to-die leakage spread")
+    Term.(const run $ circuit_arg $ trials_arg)
+
+let liberty_cmd =
+  let run path =
+    Cells.Liberty.save lib ~path;
+    Fmt.pr "wrote %s (%d cells)@." path (Cells.Library.cell_count lib)
+  in
+  let path =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Output path.")
+  in
+  Cmd.v (Cmd.info "liberty" ~doc:"Dump the generated cell library")
+    Term.(const run $ path)
+
+let paths_cmd =
+  let k_arg = Arg.(value & opt int 10 & info [ "k" ] ~doc:"How many paths.") in
+  let run name k =
+    let c = build_circuit name in
+    let _ = Core.Initial_sizing.apply ~lib c in
+    let t = Sta.Analysis.analyze c in
+    let e = Sta.Analysis.electrical t in
+    let model = Variation.Model.default in
+    let period = Sta.Analysis.max_arrival t in
+    Fmt.pr "%d worst paths (period anchor %.1f ps):@." k period;
+    List.iter
+      (fun p ->
+        let m = Sta.Paths.path_moments ~model c e p in
+        Fmt.pr "  %.1f ps, stat N(%.1f, %.1f^2), P(miss anchor)=%.2f | %d nodes@."
+          p.Sta.Paths.arrival m.Numerics.Clark.mean (Numerics.Clark.sigma m)
+          (Sta.Paths.violation_probability ~model c e p ~period)
+          (List.length p.Sta.Paths.nodes))
+      (Sta.Paths.k_worst t c ~k)
+  in
+  Cmd.v (Cmd.info "paths" ~doc:"Enumerate the K worst paths")
+    Term.(const run $ circuit_arg $ k_arg)
+
+let slack_cmd =
+  let period_arg =
+    Arg.(value & opt (some float) None
+         & info [ "period" ] ~doc:"Clock period (ps); default mean + 1 sigma.")
+  in
+  let sdc_arg =
+    Arg.(value & opt (some string) None
+         & info [ "sdc" ] ~doc:"SDC constraint file (overrides --period).")
+  in
+  let run name period sdc_path alpha =
+    let c = build_circuit name in
+    let _ = Core.Initial_sizing.apply ~lib c in
+    let model = Variation.Model.default in
+    let full = Ssta.Fullssta.run c in
+    let m = Ssta.Fullssta.output_moments full in
+    let sdc = Option.map (fun path -> Sta.Sdc.load ~path) sdc_path in
+    let period =
+      match (sdc, period) with
+      | Some sdc, _ -> Sta.Sdc.period_exn sdc
+      | None, Some p -> p
+      | None, None -> m.Numerics.Clark.mean +. Numerics.Clark.sigma m
+    in
+    let sl =
+      match sdc with
+      | Some sdc -> Ssta.Stat_slack.of_sdc ~model ~sdc full c
+      | None -> Ssta.Stat_slack.of_fullssta ~model ~period full c
+    in
+    Fmt.pr "statistical slack at T=%.1f ps (arrival N(%.1f, %.1f^2)):@." period
+      m.Numerics.Clark.mean (Numerics.Clark.sigma m);
+    List.iter
+      (fun o ->
+        match
+          (Ssta.Stat_slack.slack sl o, Ssta.Stat_slack.meet_probability sl o)
+        with
+        | Some s, Some p ->
+            Fmt.pr "  %-10s slack N(%+.1f, %.1f^2)  P(meet)=%.3f@."
+              (Netlist.Circuit.node_name c o)
+              s.Numerics.Clark.mean (Numerics.Clark.sigma s) p
+        | _ -> ())
+      (Netlist.Circuit.outputs c);
+    match Ssta.Stat_slack.worst_node sl ~alpha c with
+    | Some (id, v) ->
+        Fmt.pr "worst pessimistic slack (mean - %g sigma): %s at %+.1f ps@." alpha
+          (Netlist.Circuit.node_name c id)
+          v
+    | None -> ()
+  in
+  Cmd.v (Cmd.info "slack" ~doc:"Statistical required times and slack")
+    Term.(const run $ circuit_arg $ period_arg $ sdc_arg $ alpha_arg)
+
+let pca_cmd =
+  let share_arg =
+    Arg.(value & opt float 0.5
+         & info [ "global-share" ] ~doc:"Die-to-die variance share.")
+  in
+  let run name share trials =
+    let c = build_circuit name in
+    let _ = Core.Initial_sizing.apply ~lib c in
+    let structure = Variation.Correlated.create ~global_share:share () in
+    let full = Ssta.Fullssta.run c in
+    let fm = Ssta.Fullssta.output_moments full in
+    let pca = Ssta.Pca.run ~structure c in
+    let pa = Ssta.Pca.output_arrival pca c in
+    let mc =
+      Ssta.Monte_carlo.run
+        ~config:{ Ssta.Monte_carlo.default_config with trials; structure }
+        c
+    in
+    let ms = Ssta.Monte_carlo.circuit_stats mc in
+    Fmt.pr "global variance share %.2f:@." share;
+    Fmt.pr "  independent SSTA : mu=%.1f sigma=%.2f@." fm.Numerics.Clark.mean
+      (Numerics.Clark.sigma fm);
+    Fmt.pr "  PCA SSTA         : mu=%.1f sigma=%.2f@." pa.Ssta.Pca.mean
+      (Ssta.Pca.total_sigma pa);
+    Fmt.pr "  correlated MC    : mu=%.1f sigma=%.2f@." (Numerics.Stats.mean ms)
+      (Numerics.Stats.std ms)
+  in
+  Cmd.v
+    (Cmd.info "pca" ~doc:"Correlation-aware SSTA vs independent engines")
+    Term.(const run $ circuit_arg $ share_arg $ trials_arg)
+
+let rank_cmd =
+  let top_arg = Arg.(value & opt int 15 & info [ "top" ] ~doc:"How many gates.") in
+  let run name top =
+    let c = build_circuit name in
+    let _ = Core.Initial_sizing.apply ~lib c in
+    let crit = Core.Criticality.compute c in
+    Fmt.pr "%a" (Core.Criticality.pp ~top c) crit
+  in
+  Cmd.v
+    (Cmd.info "rank" ~doc:"Rank gates by statistical criticality")
+    Term.(const run $ circuit_arg $ top_arg)
+
+let dot_cmd =
+  let run name path =
+    let c = build_circuit name in
+    let _ = Core.Initial_sizing.apply ~lib c in
+    let full = Ssta.Fullssta.run c in
+    let cone = Core.Wnss.critical_cone ~model:Variation.Model.default c full in
+    let in_cone = Hashtbl.create 97 in
+    List.iter (fun id -> Hashtbl.replace in_cone id ()) cone;
+    let style id =
+      { Netlist.Dot.label = None; highlight = Hashtbl.mem in_cone id }
+    in
+    Netlist.Dot.save ~graph_name:name ~style c ~path;
+    Fmt.pr "wrote %s (%d cone nodes highlighted)@." path (List.length cone)
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Graphviz export with the WNSS cone highlighted")
+    Term.(const run $ circuit_arg $ path_arg)
+
+let main =
+  let doc = "statistical gate sizing for process-variation tolerance" in
+  Cmd.group (Cmd.info "statsize" ~doc)
+    [ list_cmd; info_cmd; analyze_cmd; optimize_cmd; paths_cmd; slack_cmd;
+      pca_cmd; rank_cmd; dot_cmd; table1_cmd; fig1_cmd; fig3_cmd; fig4_cmd;
+      approx_cmd; ablation_cmd; export_cmd; verilog_cmd; sdf_cmd; power_cmd;
+      liberty_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/custom_library.ml: Benchgen Cells Core Filename Fmt Lazy Numerics Ssta Sys

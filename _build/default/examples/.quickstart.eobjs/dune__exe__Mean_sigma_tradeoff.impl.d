@@ -1,0 +1,1 @@
+examples/mean_sigma_tradeoff.ml: Benchgen Cells Experiments Fmt Lazy List Numerics

@@ -1,0 +1,1 @@
+examples/mean_sigma_tradeoff.mli:

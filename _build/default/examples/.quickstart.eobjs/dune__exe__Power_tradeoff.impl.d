@@ -1,0 +1,1 @@
+examples/power_tradeoff.ml: Benchgen Cells Experiments Fmt Lazy List Numerics Printf Ssta

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Benchgen Cells Core Fmt Lazy Netlist Numerics Ssta

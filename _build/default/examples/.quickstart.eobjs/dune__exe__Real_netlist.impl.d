@@ -1,0 +1,1 @@
+examples/real_netlist.ml: Array Cells Core Filename Fmt Lazy List Netlist Numerics Ssta String Sys Variation

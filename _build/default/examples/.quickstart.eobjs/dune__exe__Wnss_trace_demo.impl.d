@@ -1,0 +1,1 @@
+examples/wnss_trace_demo.ml: Benchgen Cells Core Fmt Lazy List Netlist Numerics Ssta Sta Variation

@@ -1,0 +1,1 @@
+examples/wnss_trace_demo.mli:

@@ -1,0 +1,1 @@
+examples/yield_improvement.ml: Benchgen Cells Experiments Fmt Lazy List Numerics Ssta

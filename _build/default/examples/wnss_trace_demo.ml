@@ -1,0 +1,44 @@
+(* Statistical vs deterministic critical paths: the WNSS trace follows the
+   variance, which is not always where the worst mean is (paper Sec. 4.4 and
+   Fig. 3).
+
+     dune exec examples/wnss_trace_demo.exe *)
+
+let () =
+  let lib = Lazy.force Cells.Library.default in
+  let c = Benchgen.Alu.generate ~lib ~bits:8 () in
+  let _ = Core.Initial_sizing.apply ~lib c in
+  let model = Variation.Model.default in
+
+  (* deterministic WNS path *)
+  let det = Sta.Analysis.analyze c in
+  let wns_path = Sta.Analysis.critical_path det in
+  Fmt.pr "deterministic WNS path (%d nodes, arrival %.1f ps):@."
+    (List.length wns_path) (Sta.Analysis.max_arrival det);
+  Fmt.pr "  %a@."
+    (Fmt.list ~sep:(Fmt.any " -> ") Fmt.string)
+    (List.map (Netlist.Circuit.node_name c) wns_path);
+
+  (* statistical WNSS path *)
+  let full = Ssta.Fullssta.run c in
+  let wnss_path = Core.Wnss.trace ~model c full in
+  Fmt.pr "statistical WNSS path (%d nodes):@." (List.length wnss_path);
+  List.iter
+    (fun id ->
+      let m = Ssta.Fullssta.moments full id in
+      Fmt.pr "  %-12s arrival N(%.1f, %.1f^2)@."
+        (Netlist.Circuit.node_name c id)
+        m.Numerics.Clark.mean (Numerics.Clark.sigma m))
+    wnss_path;
+
+  (* how much do they overlap? *)
+  let overlap =
+    List.length (List.filter (fun id -> List.mem id wns_path) wnss_path)
+  in
+  Fmt.pr "overlap: %d of %d WNSS nodes are also on the WNS path@." overlap
+    (List.length wnss_path);
+
+  (* the full statistical critical cone the sizer sweeps *)
+  let cone = Core.Wnss.critical_cone ~model c full in
+  Fmt.pr "statistical critical cone: %d of %d nodes@." (List.length cone)
+    (Netlist.Circuit.size c)

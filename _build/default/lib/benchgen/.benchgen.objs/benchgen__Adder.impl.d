@@ -1,0 +1,1 @@
+lib/benchgen/adder.ml: Array Build Lazy Netlist Printf Stdlib

@@ -1,0 +1,1 @@
+lib/benchgen/adder.mli: Cells Netlist

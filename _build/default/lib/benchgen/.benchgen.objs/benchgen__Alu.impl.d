@@ -1,0 +1,1 @@
+lib/benchgen/alu.ml: Array Build Netlist Printf

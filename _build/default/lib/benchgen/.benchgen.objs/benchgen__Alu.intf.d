@@ -1,0 +1,1 @@
+lib/benchgen/alu.mli: Cells Netlist

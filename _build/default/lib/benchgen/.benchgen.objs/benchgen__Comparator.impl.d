@@ -1,0 +1,1 @@
+lib/benchgen/comparator.ml: Array Build Netlist Printf

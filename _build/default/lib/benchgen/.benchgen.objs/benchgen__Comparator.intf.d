@@ -1,0 +1,1 @@
+lib/benchgen/comparator.mli: Cells Netlist

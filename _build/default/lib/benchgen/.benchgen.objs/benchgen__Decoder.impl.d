@@ -1,0 +1,1 @@
+lib/benchgen/decoder.ml: Array Build List Netlist Printf

@@ -1,0 +1,1 @@
+lib/benchgen/decoder.mli: Cells Netlist

@@ -1,0 +1,1 @@
+lib/benchgen/ecc.ml: Array Build Hashtbl List Netlist Printf

@@ -1,0 +1,1 @@
+lib/benchgen/ecc.mli: Cells Netlist

@@ -1,0 +1,1 @@
+lib/benchgen/iscas_like.ml: Alu Cells Ecc List Multiplier Netlist Printf Random_dag String

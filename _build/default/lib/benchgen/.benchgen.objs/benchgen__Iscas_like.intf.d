@@ -1,0 +1,1 @@
+lib/benchgen/iscas_like.mli: Cells Netlist

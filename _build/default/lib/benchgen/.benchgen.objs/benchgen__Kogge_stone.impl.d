@@ -1,0 +1,1 @@
+lib/benchgen/kogge_stone.ml: Array Build Netlist Printf

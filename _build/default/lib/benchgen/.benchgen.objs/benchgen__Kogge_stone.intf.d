@@ -1,0 +1,1 @@
+lib/benchgen/kogge_stone.mli: Cells Netlist

@@ -1,0 +1,1 @@
+lib/benchgen/multiplier.ml: Adder Array Build List Netlist Printf

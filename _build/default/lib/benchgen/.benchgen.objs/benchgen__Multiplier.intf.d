@@ -1,0 +1,1 @@
+lib/benchgen/multiplier.mli: Cells Netlist

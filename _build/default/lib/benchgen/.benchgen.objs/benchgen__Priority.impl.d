@@ -1,0 +1,1 @@
+lib/benchgen/priority.ml: Array Build Netlist Printf

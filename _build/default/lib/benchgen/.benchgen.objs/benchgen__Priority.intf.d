@@ -1,0 +1,1 @@
+lib/benchgen/priority.mli: Cells Netlist

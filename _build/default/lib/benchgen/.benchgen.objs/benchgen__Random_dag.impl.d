@@ -1,0 +1,1 @@
+lib/benchgen/random_dag.ml: Array Build Cells Circuit Hashtbl List Netlist Numerics Stdlib

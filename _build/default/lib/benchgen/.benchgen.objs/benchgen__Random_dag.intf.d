@@ -1,0 +1,1 @@
+lib/benchgen/random_dag.mli: Cells Netlist

@@ -1,0 +1,1 @@
+lib/benchgen/shifter.ml: Array Build Netlist Printf

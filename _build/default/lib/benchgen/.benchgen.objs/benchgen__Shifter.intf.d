@@ -1,0 +1,1 @@
+lib/benchgen/shifter.mli: Cells Netlist

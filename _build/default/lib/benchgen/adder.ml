@@ -1,0 +1,95 @@
+(* Adder generators. Inputs are named a0.., b0.., cin; outputs sum0.., cout.
+   Bit order is little-endian throughout (bit 0 = LSB), matching
+   [Netlist.Simulate.read_unsigned]. *)
+
+open Netlist
+
+(* One full adder; returns (sum, carry_out).
+   sum = a ⊕ b ⊕ cin; cout = majority(a, b, cin) built as a·b + cin·(a⊕b). *)
+let full_adder b ~a ~b:bb ~cin =
+  let axb = Build.xor2 b a bb in
+  let sum = Build.xor2 b axb cin in
+  let ab = Build.and_ b [ a; bb ] in
+  let cin_axb = Build.and_ b [ cin; axb ] in
+  let cout = Build.or_ b [ ab; cin_axb ] in
+  (sum, cout)
+
+let half_adder b ~a ~b:bb =
+  (Build.xor2 b a bb, Build.and_ b [ a; bb ])
+
+let ripple_carry ?(name = "rca") ~lib ~bits () =
+  if bits < 1 then invalid_arg "Adder.ripple_carry: bits < 1";
+  let builder = Build.create ~lib ~name:(Printf.sprintf "%s%d" name bits) () in
+  let a = Build.inputs builder ~prefix:"a" ~count:bits in
+  let b = Build.inputs builder ~prefix:"b" ~count:bits in
+  let cin = Build.input builder ~name:"cin" in
+  let carry = ref cin in
+  for i = 0 to bits - 1 do
+    let sum, cout = full_adder builder ~a:a.(i) ~b:b.(i) ~cin:!carry in
+    ignore (Build.output ~name:(Printf.sprintf "sum%d" i) builder sum);
+    carry := cout
+  done;
+  ignore (Build.output ~name:"cout" builder !carry);
+  Build.finish builder
+
+(* Carry-select adder: blocks of [block] bits computed twice (cin=0 / cin=1),
+   the real carry picks via muxes. Shallower carry path, more area — the
+   classic speed/area point the sizing examples contrast with ripple. *)
+let carry_select ?(name = "csa") ~lib ~bits ?(block = 4) () =
+  if bits < 1 then invalid_arg "Adder.carry_select: bits < 1";
+  if block < 1 then invalid_arg "Adder.carry_select: block < 1";
+  let builder = Build.create ~lib ~name:(Printf.sprintf "%s%d" name bits) () in
+  let a = Build.inputs builder ~prefix:"a" ~count:bits in
+  let b = Build.inputs builder ~prefix:"b" ~count:bits in
+  let cin = Build.input builder ~name:"cin" in
+  let zero_of b0 =
+    (* constant-0 net: a ⊕ a would be illegal (same fanin twice is fine
+       electrically but useless); use a·!a instead. *)
+    let na = Build.not_ builder b0 in
+    Build.and_ builder [ b0; na ]
+  in
+  let const0 = lazy (zero_of a.(0)) in
+  let const1 = lazy (Build.not_ builder (Lazy.force const0)) in
+  let carry = ref cin in
+  let emit_sum i sum =
+    ignore (Build.output ~name:(Printf.sprintf "sum%d" i) builder sum)
+  in
+  let rec blocks lo =
+    if lo < bits then begin
+      let hi = Stdlib.min (lo + block) bits in
+      if lo = 0 then begin
+        (* first block: direct ripple from cin *)
+        for i = lo to hi - 1 do
+          let sum, cout = full_adder builder ~a:a.(i) ~b:b.(i) ~cin:!carry in
+          emit_sum i sum;
+          carry := cout
+        done
+      end
+      else begin
+        (* speculative pair of ripples, then select *)
+        let run cin0 =
+          let c = ref cin0 in
+          let sums =
+            Array.init (hi - lo) (fun k ->
+                let i = lo + k in
+                let sum, cout = full_adder builder ~a:a.(i) ~b:b.(i) ~cin:!c in
+                c := cout;
+                sum)
+          in
+          (sums, !c)
+        in
+        let sums0, cout0 = run (Lazy.force const0) in
+        let sums1, cout1 = run (Lazy.force const1) in
+        Array.iteri
+          (fun k s0 ->
+            let sel = Build.mux2 builder ~sel:!carry ~a:s0 ~b:sums1.(k) in
+            emit_sum (lo + k) sel)
+          sums0;
+        carry := Build.mux2 builder ~sel:!carry ~a:cout0 ~b:cout1
+      end;
+      blocks hi
+    end
+  in
+  blocks 0;
+  ignore (Build.output ~name:"cout" builder !carry);
+  Build.finish builder

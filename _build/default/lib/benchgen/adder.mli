@@ -1,0 +1,28 @@
+(** Adder generators (little-endian operands [a*]/[b*], carry [cin]; outputs
+    [sum*], [cout]). *)
+
+val full_adder :
+  Netlist.Build.t ->
+  a:Netlist.Circuit.id ->
+  b:Netlist.Circuit.id ->
+  cin:Netlist.Circuit.id ->
+  Netlist.Circuit.id * Netlist.Circuit.id
+(** (sum, carry-out) — 5 gates, shared by the multiplier. *)
+
+val half_adder :
+  Netlist.Build.t ->
+  a:Netlist.Circuit.id ->
+  b:Netlist.Circuit.id ->
+  Netlist.Circuit.id * Netlist.Circuit.id
+
+val ripple_carry :
+  ?name:string -> lib:Cells.Library.t -> bits:int -> unit -> Netlist.Circuit.t
+
+val carry_select :
+  ?name:string ->
+  lib:Cells.Library.t ->
+  bits:int ->
+  ?block:int ->
+  unit ->
+  Netlist.Circuit.t
+(** Carry-select adder with [block]-bit speculative blocks (default 4). *)

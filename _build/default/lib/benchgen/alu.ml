@@ -1,0 +1,40 @@
+(* Parameterized ALU generator — the "various sized ALU circuits" of the
+   paper's Table 1. Little-endian operands a/b, a carry input, and a 2-bit
+   opcode: 00 add, 01 and, 10 or, 11 xor. Outputs f0..f{n-1}, cout, and a
+   zero flag. Shallow (carry chain dominates), which is exactly why these
+   circuits show the largest sigma/mean in Table 1. *)
+
+open Netlist
+
+let generate ?(name = "alu") ?(zero_flag = true) ~lib ~bits () =
+  if bits < 1 then invalid_arg "Alu.generate: bits < 1";
+  let bld = Build.create ~lib ~name:(Printf.sprintf "%s%d" name bits) () in
+  let a = Build.inputs bld ~prefix:"a" ~count:bits in
+  let b = Build.inputs bld ~prefix:"b" ~count:bits in
+  let cin = Build.input bld ~name:"cin" in
+  let op0 = Build.input bld ~name:"op0" in
+  let op1 = Build.input bld ~name:"op1" in
+  let carry = ref cin in
+  let results =
+    Array.init bits (fun i ->
+        let and_i = Build.and_ bld [ a.(i); b.(i) ] in
+        let or_i = Build.or_ bld [ a.(i); b.(i) ] in
+        let xor_i = Build.xor2 bld a.(i) b.(i) in
+        let sum = Build.xor2 bld xor_i !carry in
+        (* cout = a·b + cin·(a⊕b) *)
+        let cin_axb = Build.and_ bld [ !carry; xor_i ] in
+        carry := Build.or_ bld [ and_i; cin_axb ];
+        (* 4:1 select from (sum, and, or, xor) via three 2:1 muxes *)
+        let low = Build.mux2 bld ~sel:op0 ~a:sum ~b:and_i in
+        let high = Build.mux2 bld ~sel:op0 ~a:or_i ~b:xor_i in
+        Build.mux2 bld ~sel:op1 ~a:low ~b:high)
+  in
+  Array.iteri
+    (fun i r -> ignore (Build.output ~name:(Printf.sprintf "f%d" i) bld r))
+    results;
+  ignore (Build.output ~name:"cout" bld !carry);
+  if zero_flag then begin
+    let any = Build.or_ bld (Array.to_list results) in
+    ignore (Build.output ~name:"zero" bld (Build.not_ bld any))
+  end;
+  Build.finish bld

@@ -1,0 +1,10 @@
+(** Parameterized ALU (opcode 00 add, 01 and, 10 or, 11 xor; outputs [f*],
+    [cout], and optionally [zero]). *)
+
+val generate :
+  ?name:string ->
+  ?zero_flag:bool ->
+  lib:Cells.Library.t ->
+  bits:int ->
+  unit ->
+  Netlist.Circuit.t

@@ -1,0 +1,36 @@
+(* Magnitude comparator: outputs eq, lt, gt for two unsigned operands.
+   Bitwise XNORs feed a MSB-down "all higher bits equal" chain; less-than
+   terms tap the chain, and the final chain link is the equality output. *)
+
+open Netlist
+
+let generate ?(name = "cmp") ~lib ~bits () =
+  if bits < 1 then invalid_arg "Comparator.generate: bits < 1";
+  let bld = Build.create ~lib ~name:(Printf.sprintf "%s%d" name bits) () in
+  let a = Build.inputs bld ~prefix:"a" ~count:bits in
+  let b = Build.inputs bld ~prefix:"b" ~count:bits in
+  let bit_eq = Array.init bits (fun i -> Build.xnor2 bld a.(i) b.(i)) in
+  let terms = ref [] in
+  let higher_eq = ref None in
+  for i = bits - 1 downto 0 do
+    let na = Build.not_ bld a.(i) in
+    let local = Build.and_ bld [ na; b.(i) ] in
+    let term =
+      match !higher_eq with
+      | None -> local
+      | Some h -> Build.and_ bld [ local; h ]
+    in
+    terms := term :: !terms;
+    higher_eq :=
+      Some
+        (match !higher_eq with
+        | None -> bit_eq.(i)
+        | Some h -> Build.and_ bld [ h; bit_eq.(i) ])
+  done;
+  let eq = match !higher_eq with Some e -> e | None -> assert false in
+  let lt = Build.or_ bld !terms in
+  let gt = Build.nor bld [ lt; eq ] in
+  ignore (Build.output ~name:"eq" bld eq);
+  ignore (Build.output ~name:"lt" bld lt);
+  ignore (Build.output ~name:"gt" bld gt);
+  Build.finish bld

@@ -1,0 +1,4 @@
+(** Unsigned magnitude comparator: outputs [eq], [lt], [gt]. *)
+
+val generate :
+  ?name:string -> lib:Cells.Library.t -> bits:int -> unit -> Netlist.Circuit.t

@@ -1,0 +1,43 @@
+(* n-to-2^n decoder with enable — wide, shallow, single-level fanout-heavy:
+   a useful contrast workload for the sizing engine (many near-critical
+   parallel paths of identical depth). *)
+
+open Netlist
+
+let generate ?(name = "dec") ~lib ~bits () =
+  if bits < 1 then invalid_arg "Decoder.generate: bits < 1";
+  if bits > 8 then invalid_arg "Decoder.generate: bits > 8 (2^n outputs)";
+  let bld = Build.create ~lib ~name:(Printf.sprintf "%s%d" name bits) () in
+  let sel = Build.inputs bld ~prefix:"s" ~count:bits in
+  let enable = Build.input bld ~name:"en" in
+  let nsel = Array.map (fun s -> Build.not_ bld s) sel in
+  for v = 0 to (1 lsl bits) - 1 do
+    let literals =
+      List.init bits (fun i -> if v land (1 lsl i) <> 0 then sel.(i) else nsel.(i))
+    in
+    let hit = Build.and_ bld (enable :: literals) in
+    ignore (Build.output ~name:(Printf.sprintf "y%d" v) bld hit)
+  done;
+  Build.finish bld
+
+(* Multiplexer tree: 2^n data inputs selected by n bits; log-depth mux
+   column. *)
+let mux_tree ?(name = "muxt") ~lib ~select_bits () =
+  if select_bits < 1 then invalid_arg "Decoder.mux_tree: select_bits < 1";
+  if select_bits > 8 then invalid_arg "Decoder.mux_tree: select_bits > 8";
+  let bld = Build.create ~lib ~name:(Printf.sprintf "%s%d" name select_bits) () in
+  let data = Build.inputs bld ~prefix:"d" ~count:(1 lsl select_bits) in
+  let sel = Build.inputs bld ~prefix:"s" ~count:select_bits in
+  let layer = ref (Array.to_list data) in
+  for level = 0 to select_bits - 1 do
+    let rec pair = function
+      | a :: b :: rest -> Build.mux2 bld ~sel:sel.(level) ~a ~b :: pair rest
+      | [ x ] -> [ x ]
+      | [] -> []
+    in
+    layer := pair !layer
+  done;
+  (match !layer with
+  | [ root ] -> ignore (Build.output ~name:"y" bld root)
+  | _ -> assert false);
+  Build.finish bld

@@ -1,0 +1,9 @@
+(** Shallow fanout-heavy workloads. *)
+
+val generate :
+  ?name:string -> lib:Cells.Library.t -> bits:int -> unit -> Netlist.Circuit.t
+(** n-to-2^n decoder with enable (outputs [y0..]); [bits] ≤ 8. *)
+
+val mux_tree :
+  ?name:string -> lib:Cells.Library.t -> select_bits:int -> unit -> Netlist.Circuit.t
+(** 2^n:1 multiplexer tree (output [y]); [select_bits] ≤ 8. *)

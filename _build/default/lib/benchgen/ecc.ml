@@ -1,0 +1,110 @@
+(* Single-error-correcting Hamming circuits — the functional family of
+   ISCAS-85 c499/c1355 (32-bit SEC circuits; c1355 is c499 with its XORs
+   expanded into NAND networks, which is exactly what [`Nand4] does here). *)
+
+open Netlist
+
+type xor_style = Native | Nand4
+
+(* XOR in the requested style. The 4-NAND2 expansion quadruples gate count
+   and doubles depth, mirroring the c499 -> c1355 re-mapping. *)
+let make_xor bld style x y =
+  match style with
+  | Native -> Build.xor2 bld x y
+  | Nand4 ->
+      let n1 = Build.nand bld [ x; y ] in
+      let n2 = Build.nand bld [ x; n1 ] in
+      let n3 = Build.nand bld [ y; n1 ] in
+      Build.nand bld [ n2; n3 ]
+
+(* Balanced XOR reduction (log depth, like the parity trees in c499). *)
+let rec xor_tree bld style = function
+  | [] -> invalid_arg "Ecc.xor_tree: empty"
+  | [ x ] -> x
+  | nodes ->
+      let rec pair = function
+        | x :: y :: rest -> make_xor bld style x y :: pair rest
+        | leftover -> leftover
+      in
+      xor_tree bld style (pair nodes)
+
+let check_bit_count ~data_bits =
+  let rec go r = if 1 lsl r >= data_bits + r + 1 then r else go (r + 1) in
+  go 1
+
+(* Positions 1..n in a Hamming code, with check bits at powers of two.
+   [data_positions] lists the codeword positions of data bits in order. *)
+let layout ~data_bits =
+  let r = check_bit_count ~data_bits in
+  let total = data_bits + r in
+  let is_power_of_two p = p land (p - 1) = 0 in
+  let data_positions =
+    List.filter (fun p -> not (is_power_of_two p)) (List.init total (fun i -> i + 1))
+  in
+  (r, total, data_positions)
+
+(* Corrector: inputs are the received codeword (data bits d0.. and check
+   bits c0..), outputs the corrected data bits o0... A classic two-stage
+   structure: parity trees form the syndrome, a decoder flips the flagged
+   position. *)
+let hamming_corrector ?(name = "sec") ?(style = Native) ~lib ~data_bits () =
+  if data_bits < 2 then invalid_arg "Ecc.hamming_corrector: data_bits < 2";
+  let r, _total, data_positions = layout ~data_bits in
+  let style_tag = match style with Native -> "" | Nand4 -> "_nand" in
+  let bld =
+    Build.create ~lib ~name:(Printf.sprintf "%s%d%s" name data_bits style_tag) ()
+  in
+  let data = Build.inputs bld ~prefix:"d" ~count:data_bits in
+  let check = Build.inputs bld ~prefix:"c" ~count:r in
+  (* codeword position -> node *)
+  let position_node = Hashtbl.create 97 in
+  List.iteri (fun i p -> Hashtbl.add position_node p data.(i)) data_positions;
+  Array.iteri (fun j c -> Hashtbl.add position_node (1 lsl j) c) check;
+  (* syndrome bit j = parity of all positions with bit j set *)
+  let syndrome =
+    Array.init r (fun j ->
+        let members =
+          Hashtbl.fold
+            (fun p node acc -> if p land (1 lsl j) <> 0 then node :: acc else acc)
+            position_node []
+        in
+        xor_tree bld style members)
+  in
+  (* flip data bit i when the syndrome equals its position *)
+  List.iteri
+    (fun i p ->
+      let literals =
+        Array.to_list
+          (Array.mapi
+             (fun j s ->
+               if p land (1 lsl j) <> 0 then s else Build.not_ bld s)
+             syndrome)
+      in
+      let flip = Build.and_ bld literals in
+      let corrected = make_xor bld style data.(i) flip in
+      ignore (Build.output ~name:(Printf.sprintf "o%d" i) bld corrected))
+    data_positions;
+  Build.finish bld
+
+(* Encoder: data in, check bits out (parity trees only) — a pure XOR-tree
+   workload for depth/variance studies. *)
+let hamming_encoder ?(name = "enc") ?(style = Native) ~lib ~data_bits () =
+  if data_bits < 2 then invalid_arg "Ecc.hamming_encoder: data_bits < 2";
+  let r, _total, data_positions = layout ~data_bits in
+  let style_tag = match style with Native -> "" | Nand4 -> "_nand" in
+  let bld =
+    Build.create ~lib ~name:(Printf.sprintf "%s%d%s" name data_bits style_tag) ()
+  in
+  let data = Build.inputs bld ~prefix:"d" ~count:data_bits in
+  let by_position = List.combine data_positions (Array.to_list data) in
+  Array.iteri
+    (fun j _ ->
+      let members =
+        List.filter_map
+          (fun (p, node) -> if p land (1 lsl j) <> 0 then Some node else None)
+          by_position
+      in
+      ignore
+        (Build.output ~name:(Printf.sprintf "c%d" j) bld (xor_tree bld style members)))
+    (Array.make r ());
+  Build.finish bld

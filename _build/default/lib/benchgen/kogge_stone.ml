@@ -1,0 +1,47 @@
+(* Kogge-Stone parallel-prefix adder: log-depth carry computation with wide
+   prefix fanout — the structural opposite of the ripple chain, and a good
+   stress case for the sizing engine (many parallel near-critical paths).
+
+   Prefix cell combines (G, P) pairs:  (g, p) ∘ (g', p') = (g + p·g', p·p').
+   Inputs a*/b*/cin, outputs sum*/cout, little-endian. *)
+
+open Netlist
+
+let generate ?(name = "ks") ~lib ~bits () =
+  if bits < 1 then invalid_arg "Kogge_stone.generate: bits < 1";
+  let bld = Build.create ~lib ~name:(Printf.sprintf "%s%d" name bits) () in
+  let a = Build.inputs bld ~prefix:"a" ~count:bits in
+  let b = Build.inputs bld ~prefix:"b" ~count:bits in
+  let cin = Build.input bld ~name:"cin" in
+  (* bit-level generate / propagate *)
+  let g0 = Array.init bits (fun i -> Build.and_ bld [ a.(i); b.(i) ]) in
+  let p0 = Array.init bits (fun i -> Build.xor2 bld a.(i) b.(i)) in
+  (* prefix levels: span doubles each level *)
+  let g = ref (Array.copy g0) and p = ref (Array.copy p0) in
+  let span = ref 1 in
+  while !span < bits do
+    let gn = Array.copy !g and pn = Array.copy !p in
+    for i = !span to bits - 1 do
+      (* (g,p)_i ∘ (g,p)_{i-span} *)
+      let pg' = Build.and_ bld [ !p.(i); !g.(i - !span) ] in
+      gn.(i) <- Build.or_ bld [ !g.(i); pg' ];
+      pn.(i) <- Build.and_ bld [ !p.(i); !p.(i - !span) ]
+    done;
+    g := gn;
+    p := pn;
+    span := 2 * !span
+  done;
+  (* carries: c_0 = cin; c_{i+1} = G_i + P_i·cin (prefix over bits 0..i) *)
+  let carry =
+    Array.init (bits + 1) (fun i ->
+        if i = 0 then cin
+        else
+          let pc = Build.and_ bld [ !p.(i - 1); cin ] in
+          Build.or_ bld [ !g.(i - 1); pc ])
+  in
+  for i = 0 to bits - 1 do
+    let s = Build.xor2 bld p0.(i) carry.(i) in
+    ignore (Build.output ~name:(Printf.sprintf "sum%d" i) bld s)
+  done;
+  ignore (Build.output ~name:"cout" bld (Build.buf bld carry.(bits)));
+  Build.finish bld

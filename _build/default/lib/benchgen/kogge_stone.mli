@@ -1,0 +1,5 @@
+(** Kogge–Stone parallel-prefix adder (log-depth carries, wide prefix
+    fanout). Inputs [a*]/[b*]/[cin]; outputs [sum*]/[cout], little-endian. *)
+
+val generate :
+  ?name:string -> lib:Cells.Library.t -> bits:int -> unit -> Netlist.Circuit.t

@@ -1,0 +1,5 @@
+(** Array multiplier (c6288's structure): inputs [a*]/[b*], product outputs
+    [p0..p{2n-1}]. *)
+
+val generate :
+  ?name:string -> lib:Cells.Library.t -> bits:int -> unit -> Netlist.Circuit.t

@@ -1,0 +1,47 @@
+(* Priority logic — the functional family of ISCAS-85 c432 (a 27-channel
+   interrupt controller): maskable request lines, a priority resolver that
+   grants the highest-index active request, and a valid flag.
+
+   Structure: a "no higher request" chain from the top priority downward
+   (like the comparator's equality chain), AND-ed with each masked request.
+   Shallow-ish with one long chain — a useful WNSS workload because every
+   grant output shares most of the chain. *)
+
+open Netlist
+
+let generate ?(name = "prio") ?(maskable = true) ~lib ~channels () =
+  if channels < 2 then invalid_arg "Priority.generate: channels < 2";
+  let bld =
+    Build.create ~lib ~name:(Printf.sprintf "%s%d" name channels) ()
+  in
+  let req = Build.inputs bld ~prefix:"req" ~count:channels in
+  let mask =
+    if maskable then Build.inputs bld ~prefix:"mask" ~count:channels else [||]
+  in
+  let active =
+    Array.init channels (fun i ->
+        if maskable then Build.and_ bld [ req.(i); mask.(i) ] else req.(i))
+  in
+  (* no_higher.(i) = none of active.(i+1 .. channels-1) *)
+  let grants = Array.make channels active.(0) in
+  let higher_any = ref None in
+  for i = channels - 1 downto 0 do
+    (grants.(i) <-
+       (match !higher_any with
+       | None -> active.(i)
+       | Some h ->
+           let nh = Build.not_ bld h in
+           Build.and_ bld [ active.(i); nh ]));
+    higher_any :=
+      Some
+        (match !higher_any with
+        | None -> active.(i)
+        | Some h -> Build.or_ bld [ h; active.(i) ])
+  done;
+  Array.iteri
+    (fun i g -> ignore (Build.output ~name:(Printf.sprintf "grant%d" i) bld g))
+    grants;
+  (match !higher_any with
+  | Some any -> ignore (Build.output ~name:"valid" bld (Build.buf bld any))
+  | None -> assert false);
+  Build.finish bld

@@ -1,0 +1,12 @@
+(** Maskable priority resolver (interrupt-controller style, the c432
+    functional family): grants the highest-index active request.
+    Inputs [req*] (and [mask*] when maskable); outputs one-hot [grant*]
+    and [valid]. *)
+
+val generate :
+  ?name:string ->
+  ?maskable:bool ->
+  lib:Cells.Library.t ->
+  channels:int ->
+  unit ->
+  Netlist.Circuit.t

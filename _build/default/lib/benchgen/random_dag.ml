@@ -1,0 +1,142 @@
+(* Random layered technology-mapped DAGs with target input/output/gate/depth
+   profiles.
+
+   Used for the ISCAS-85 profile stand-ins (the genuine netlists are not
+   redistributable data we can embed; what Table 1's behaviour depends on is
+   gate count, depth and output structure — see DESIGN.md §2) and as a
+   workload source for property tests.
+
+   Construction is layered: every gate takes at least one fanin from the
+   immediately previous layer (so the depth target is hit exactly as long as
+   each layer is non-empty) and remaining fanins from arbitrary earlier
+   nodes, biased toward nodes that do not yet drive anything, which keeps
+   dangling logic rare. Whatever remains unused at the end is promoted to a
+   primary output, so the output count is approximate by design. *)
+
+open Netlist
+
+type profile = {
+  profile_name : string;
+  inputs : int;
+  outputs : int;
+  gates : int;
+  depth : int;
+  seed : int;
+}
+
+let weighted_fns =
+  [ (28, Cells.Fn.Nand 2); (12, Cells.Fn.Nor 2); (12, Cells.Fn.And 2);
+    (10, Cells.Fn.Or 2); (12, Cells.Fn.Inv); (8, Cells.Fn.Xor2);
+    (8, Cells.Fn.Nand 3); (4, Cells.Fn.Nor 3); (3, Cells.Fn.Aoi21);
+    (3, Cells.Fn.Oai21) ]
+
+let total_weight = List.fold_left (fun acc (w, _) -> acc + w) 0 weighted_fns
+
+let pick_fn rng =
+  let roll = Numerics.Rng.int rng ~bound:total_weight in
+  let rec go acc = function
+    | [] -> assert false
+    | (w, fn) :: rest -> if roll < acc + w then fn else go (acc + w) rest
+  in
+  go 0 weighted_fns
+
+let generate ~lib profile =
+  if profile.inputs < 2 then invalid_arg "Random_dag.generate: inputs < 2";
+  if profile.gates < 1 then invalid_arg "Random_dag.generate: gates < 1";
+  if profile.depth < 1 then invalid_arg "Random_dag.generate: depth < 1";
+  if profile.outputs < 1 then invalid_arg "Random_dag.generate: outputs < 1";
+  let depth = Stdlib.min profile.depth profile.gates in
+  let rng = Numerics.Rng.create ~seed:profile.seed in
+  let bld = Build.create ~lib ~name:profile.profile_name () in
+  let inputs = Build.inputs bld ~prefix:"i" ~count:profile.inputs in
+  let circuit = Build.circuit bld in
+  (* unused: nodes with no reader yet, per level; all_nodes: per level *)
+  let levels = Array.make (depth + 1) [] in
+  levels.(0) <- Array.to_list inputs;
+  let unused = Hashtbl.create 997 in
+  Array.iter (fun id -> Hashtbl.replace unused id 0) inputs;
+  let mark_used id = Hashtbl.remove unused id in
+  let pick_from_list rng nodes =
+    List.nth nodes (Numerics.Rng.int rng ~bound:(List.length nodes))
+  in
+  (* Prefer an unused node from the candidate list when one exists. *)
+  let pick_biased rng nodes =
+    let fresh = List.filter (Hashtbl.mem unused) nodes in
+    match fresh with
+    | [] -> pick_from_list rng nodes
+    | _ when Numerics.Rng.float rng < 0.7 -> pick_from_list rng fresh
+    | _ -> pick_from_list rng nodes
+  in
+  let earlier_nodes level =
+    List.concat (List.init level (fun l -> levels.(l)))
+  in
+  (* Distribute gates across layers: every layer gets at least one. *)
+  let per_level = Array.make (depth + 1) 0 in
+  for l = 1 to depth do
+    per_level.(l) <- 1
+  done;
+  for _ = 1 to profile.gates - depth do
+    let l = 1 + Numerics.Rng.int rng ~bound:depth in
+    per_level.(l) <- per_level.(l) + 1
+  done;
+  for level = 1 to depth do
+    let prev = levels.(level - 1) in
+    let earlier = earlier_nodes level in
+    for _ = 1 to per_level.(level) do
+      let fn = pick_fn rng in
+      let arity = Cells.Fn.arity fn in
+      let first = pick_biased rng prev in
+      let fanins =
+        Array.init arity (fun k ->
+            if k = 0 then first else pick_biased rng earlier)
+      in
+      (* A gate fed twice by the same net is legal but degenerate; retry the
+         duplicates against the full earlier pool. *)
+      let seen = Hashtbl.create 7 in
+      let fanins =
+        Array.map
+          (fun id ->
+            if Hashtbl.mem seen id then pick_biased rng earlier
+            else begin
+              Hashtbl.add seen id ();
+              id
+            end)
+          fanins
+      in
+      let gate = Build.gate bld fn fanins in
+      Array.iter mark_used fanins;
+      Hashtbl.replace unused gate 0;
+      levels.(level) <- gate :: levels.(level)
+    done
+  done;
+  (* Primary outputs: every still-unused gate must be observed; if that
+     falls short of the requested count, promote the deepest gates too. *)
+  let unused_gates =
+    Hashtbl.fold
+      (fun id _ acc -> if Circuit.is_input circuit id then acc else id :: acc)
+      unused []
+    |> List.sort Stdlib.compare
+  in
+  List.iter (fun id -> Circuit.mark_output circuit id) unused_gates;
+  let deficit = profile.outputs - List.length unused_gates in
+  if deficit > 0 then begin
+    let candidates =
+      List.concat
+        (List.init depth (fun k ->
+             List.filter
+               (fun id -> not (Circuit.is_output circuit id))
+               levels.(depth - k)))
+    in
+    List.iteri
+      (fun i id -> if i < deficit then Circuit.mark_output circuit id)
+      candidates
+  end;
+  (* Unused primary inputs would fail validation in spirit (they are legal
+     but pointless); absorb them into a parity sink output. *)
+  let unused_inputs =
+    List.filter (fun id -> Circuit.fanouts circuit id = []) (Array.to_list inputs)
+  in
+  (match unused_inputs with
+  | [] -> ()
+  | ids -> ignore (Build.output ~name:"sink" bld (Build.xor bld ids)));
+  Build.finish bld

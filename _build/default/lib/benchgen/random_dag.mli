@@ -1,0 +1,13 @@
+(** Seeded random layered mapped DAGs matched to input/output/gate/depth
+    profiles (the ISCAS-85 stand-ins; see DESIGN.md §2). *)
+
+type profile = {
+  profile_name : string;
+  inputs : int;
+  outputs : int;  (** approximate: unread gates are promoted to outputs *)
+  gates : int;  (** approximate (±decomposition) *)
+  depth : int;  (** hit exactly *)
+  seed : int;
+}
+
+val generate : lib:Cells.Library.t -> profile -> Netlist.Circuit.t

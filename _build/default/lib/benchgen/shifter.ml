@@ -1,0 +1,34 @@
+(* Barrel shifter: log₂(width) stages of 2:1 muxes, each stage shifting by a
+   power of two when its select bit is set. Uniform log-depth mux columns
+   with heavy select fanout — a workload between the carry chains (serial)
+   and the parity trees (balanced). *)
+
+open Netlist
+
+let generate ?(name = "bshift") ~lib ~bits () =
+  if bits < 2 then invalid_arg "Shifter.generate: bits < 2";
+  let stages =
+    let rec log2 n acc = if n <= 1 then acc else log2 (n / 2) (acc + 1) in
+    log2 (bits - 1) 0 + 1
+  in
+  let bld = Build.create ~lib ~name:(Printf.sprintf "%s%d" name bits) () in
+  let data = Build.inputs bld ~prefix:"d" ~count:bits in
+  let sel = Build.inputs bld ~prefix:"s" ~count:stages in
+  (* zero for bits shifted in: d0 AND NOT d0 *)
+  let zero =
+    let nd = Build.not_ bld data.(0) in
+    Build.and_ bld [ data.(0); nd ]
+  in
+  let layer = ref (Array.copy data) in
+  for stage = 0 to stages - 1 do
+    let shift = 1 lsl stage in
+    let prev = !layer in
+    layer :=
+      Array.init bits (fun i ->
+          let shifted = if i >= shift then prev.(i - shift) else zero in
+          Build.mux2 bld ~sel:sel.(stage) ~a:prev.(i) ~b:shifted)
+  done;
+  Array.iteri
+    (fun i out -> ignore (Build.output ~name:(Printf.sprintf "q%d" i) bld out))
+    !layer;
+  Build.finish bld

@@ -1,0 +1,5 @@
+(** Logarithmic barrel shifter (left shift by the select amount; zeros fill).
+    Inputs [d*] and select bits [s*]; outputs [q*]. *)
+
+val generate :
+  ?name:string -> lib:Cells.Library.t -> bits:int -> unit -> Netlist.Circuit.t

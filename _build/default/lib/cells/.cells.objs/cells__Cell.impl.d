@@ -1,0 +1,1 @@
+lib/cells/cell.ml: Fmt Fn Numerics String

@@ -1,0 +1,1 @@
+lib/cells/fn.ml: Array Fmt Fun List Printf Stdlib String

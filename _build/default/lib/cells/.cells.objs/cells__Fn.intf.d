@@ -1,0 +1,1 @@
+lib/cells/fn.mli: Fmt

@@ -1,0 +1,1 @@
+lib/cells/liberty.ml: Array Buffer Cell Fn Fun In_channel Library List Numerics Printf String

@@ -1,0 +1,1 @@
+lib/cells/library.ml: Array Cell Float Fmt Fn Hashtbl List Numerics Printf

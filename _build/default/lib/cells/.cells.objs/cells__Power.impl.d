@@ -1,0 +1,1 @@
+lib/cells/power.ml: Cell Float Fn

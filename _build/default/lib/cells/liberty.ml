@@ -1,0 +1,199 @@
+(* A minimal line-oriented text format for cell libraries, loosely inspired
+   by Liberty. It exists so users can persist a generated library, edit it,
+   and reload it — and so real library data can be imported without Synopsys
+   tooling. Grammar (one record per cell, '#' starts a comment):
+
+     library <name>
+     tau <float>
+     strengths <float>+
+     cell <name> <fn> <drive_index> <strength> <area> <input_cap>
+     slew_axis <float>+
+     load_axis <float>+
+     delay
+     <one row of floats per slew-axis entry>
+     output_slew
+     <one row of floats per slew-axis entry>
+     end
+*)
+
+exception Parse_error of { line : int; message : string }
+
+let fail line fmt =
+  Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+let floats_to_string fs =
+  String.concat " " (List.map (Printf.sprintf "%.17g") (Array.to_list fs))
+
+let write_lut buf keyword lut =
+  Buffer.add_string buf keyword;
+  Buffer.add_char buf '\n';
+  let rows = Numerics.Lut.rows lut and cols = Numerics.Lut.cols lut in
+  Array.iter
+    (fun r ->
+      let row = Array.map (fun c -> Numerics.Lut.query lut ~row:r ~col:c) cols in
+      Buffer.add_string buf (floats_to_string row);
+      Buffer.add_char buf '\n')
+    rows
+
+let to_string (lib : Library.t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "library %s\n" (Library.name lib));
+  Buffer.add_string buf (Printf.sprintf "tau %.17g\n" (Library.tau lib));
+  Buffer.add_string buf
+    (Printf.sprintf "strengths %s\n" (floats_to_string (Library.strengths lib)));
+  List.iter
+    (fun fn ->
+      Array.iter
+        (fun (c : Cell.t) ->
+          Buffer.add_string buf
+            (Printf.sprintf "cell %s %s %d %.17g %.17g %.17g\n" c.Cell.name
+               (Fn.name c.Cell.fn) c.Cell.drive_index c.Cell.strength c.Cell.area
+               c.Cell.input_cap);
+          Buffer.add_string buf
+            (Printf.sprintf "slew_axis %s\n"
+               (floats_to_string (Numerics.Lut.rows c.Cell.delay)));
+          Buffer.add_string buf
+            (Printf.sprintf "load_axis %s\n"
+               (floats_to_string (Numerics.Lut.cols c.Cell.delay)));
+          write_lut buf "delay" c.Cell.delay;
+          write_lut buf "output_slew" c.Cell.output_slew;
+          Buffer.add_string buf "end\n")
+        (Library.sizes_of_fn lib fn))
+    (Library.functions lib);
+  Buffer.contents buf
+
+(* ---- parsing ----------------------------------------------------------- *)
+
+type cursor = { mutable lines : (int * string) list }
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let tokens_of line = String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+
+let next cursor =
+  let rec go () =
+    match cursor.lines with
+    | [] -> None
+    | (n, line) :: rest -> (
+        cursor.lines <- rest;
+        match tokens_of (strip_comment line) with [] -> go () | toks -> Some (n, toks))
+  in
+  go ()
+
+let expect cursor what =
+  match next cursor with
+  | None -> fail 0 "unexpected end of input, expected %s" what
+  | Some v -> v
+
+let parse_float line s =
+  match float_of_string_opt s with
+  | Some f -> f
+  | None -> fail line "bad float %S" s
+
+let parse_floats line toks = Array.of_list (List.map (parse_float line) toks)
+
+let parse_lut cursor ~line ~keyword ~rows ~cols =
+  (match expect cursor keyword with
+  | _, [ k ] when String.equal k keyword -> ()
+  | n, _ -> fail n "expected %S" keyword);
+  let values =
+    Array.map
+      (fun _ ->
+        let n, toks = expect cursor "lut row" in
+        let row = parse_floats n toks in
+        if Array.length row <> Array.length cols then
+          fail n "lut row has %d entries, expected %d" (Array.length row)
+            (Array.length cols);
+        row)
+      rows
+  in
+  ignore line;
+  Numerics.Lut.create ~rows ~cols ~values
+
+let parse_cell cursor ~line toks =
+  match toks with
+  | [ name; fn_name; drive; strength; area; cap ] ->
+      let fn =
+        match Fn.of_name fn_name with
+        | Some fn -> fn
+        | None -> fail line "unknown function %S" fn_name
+      in
+      let drive_index =
+        match int_of_string_opt drive with
+        | Some d -> d
+        | None -> fail line "bad drive index %S" drive
+      in
+      let slew_axis =
+        match expect cursor "slew_axis" with
+        | n, "slew_axis" :: rest -> parse_floats n rest
+        | n, _ -> fail n "expected slew_axis"
+      in
+      let load_axis =
+        match expect cursor "load_axis" with
+        | n, "load_axis" :: rest -> parse_floats n rest
+        | n, _ -> fail n "expected load_axis"
+      in
+      let delay =
+        parse_lut cursor ~line ~keyword:"delay" ~rows:slew_axis ~cols:load_axis
+      in
+      let output_slew =
+        parse_lut cursor ~line ~keyword:"output_slew" ~rows:slew_axis
+          ~cols:load_axis
+      in
+      (match expect cursor "end" with
+      | _, [ "end" ] -> ()
+      | n, _ -> fail n "expected end");
+      {
+        Cell.name;
+        fn;
+        drive_index;
+        strength = parse_float line strength;
+        area = parse_float line area;
+        input_cap = parse_float line cap;
+        delay;
+        output_slew;
+      }
+  | _ -> fail line "cell header needs 6 fields"
+
+let of_string text =
+  let cursor =
+    { lines = List.mapi (fun i l -> (i + 1, l)) (String.split_on_char '\n' text) }
+  in
+  let lib_name =
+    match expect cursor "library" with
+    | _, [ "library"; n ] -> n
+    | n, _ -> fail n "expected 'library <name>'"
+  in
+  let tau =
+    match expect cursor "tau" with
+    | n, [ "tau"; v ] -> parse_float n v
+    | n, _ -> fail n "expected 'tau <float>'"
+  in
+  let strengths =
+    match expect cursor "strengths" with
+    | n, "strengths" :: rest -> parse_floats n rest
+    | n, _ -> fail n "expected 'strengths <floats>'"
+  in
+  let rec cells acc =
+    match next cursor with
+    | None -> List.rev acc
+    | Some (n, "cell" :: rest) -> cells (parse_cell cursor ~line:n rest :: acc)
+    | Some (n, tok :: _) -> fail n "expected 'cell', got %S" tok
+    | Some (n, []) -> fail n "empty line leaked through"
+  in
+  Library.of_cells ~name:lib_name ~tau ~strengths (cells [])
+
+let save lib ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string lib))
+
+let load ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (In_channel.input_all ic))

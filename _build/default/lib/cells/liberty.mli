@@ -1,0 +1,10 @@
+(** Minimal Liberty-inspired text serialization for cell libraries, so
+    generated libraries can be persisted/edited and external data imported. *)
+
+exception Parse_error of { line : int; message : string }
+
+val to_string : Library.t -> string
+val of_string : string -> Library.t
+
+val save : Library.t -> path:string -> unit
+val load : path:string -> Library.t

@@ -1,0 +1,1 @@
+lib/core/area_recovery.ml: Array Cells Float Fmt List Netlist Numerics Objective Ssta Sta Variation

@@ -1,0 +1,1 @@
+lib/core/area_recovery.mli: Cells Fmt Netlist Objective Sta Variation

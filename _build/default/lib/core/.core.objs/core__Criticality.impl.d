@@ -1,0 +1,1 @@
+lib/core/criticality.ml: Array Float Fmt List Netlist Numerics Ssta Sta Variation

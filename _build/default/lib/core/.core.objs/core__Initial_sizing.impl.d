@@ -1,0 +1,1 @@
+lib/core/initial_sizing.ml: Array Cells List Netlist

@@ -1,0 +1,1 @@
+lib/core/initial_sizing.mli: Cells Netlist

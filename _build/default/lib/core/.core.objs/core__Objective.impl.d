@@ -1,0 +1,1 @@
+lib/core/objective.ml: Float Fmt List Numerics Ssta

@@ -1,0 +1,1 @@
+lib/core/objective.mli: Fmt Netlist Numerics Ssta

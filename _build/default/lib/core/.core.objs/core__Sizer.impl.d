@@ -1,0 +1,1 @@
+lib/core/sizer.ml: Array Cells Float Fmt List Logs Netlist Numerics Objective Ssta Sta Sys Variation Window Wnss

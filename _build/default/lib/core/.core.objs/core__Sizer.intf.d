@@ -1,0 +1,1 @@
+lib/core/sizer.mli: Cells Fmt Netlist Numerics Objective Sta Variation Window

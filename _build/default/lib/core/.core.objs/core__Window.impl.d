@@ -1,0 +1,1 @@
+lib/core/window.ml: Array Cells Float Fun Hashtbl Initial_sizing List Netlist Numerics Objective Ssta Sta Variation

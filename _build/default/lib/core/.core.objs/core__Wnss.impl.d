@@ -1,0 +1,1 @@
+lib/core/wnss.ml: Array Float Hashtbl List Netlist Numerics Ssta Stdlib Variation

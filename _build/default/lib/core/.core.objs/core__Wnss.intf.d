@@ -1,0 +1,1 @@
+lib/core/wnss.mli: Netlist Numerics Ssta Variation

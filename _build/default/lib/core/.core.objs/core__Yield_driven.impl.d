@@ -1,0 +1,1 @@
+lib/core/yield_driven.ml: Area_recovery Fmt List Netlist Numerics Objective Sizer Ssta

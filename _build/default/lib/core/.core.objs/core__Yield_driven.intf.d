@@ -1,0 +1,1 @@
+lib/core/yield_driven.mli: Cells Fmt Netlist Sizer

@@ -1,0 +1,16 @@
+(** Load-driven initial sizing (an effective-fanout rule), emulating the
+    drive assignment a synthesis tool ships — the paper's starting point.
+    Returns the number of resizes applied. *)
+
+type config = { fanout_target : float; max_passes : int }
+
+val default_config : config
+(** Electrical fanout target 4 (logical-effort gain rule), up to 6 settling
+    passes. *)
+
+val pick_cell :
+  Cells.Library.t -> fn:Cells.Fn.t -> load:float -> target:float -> Cells.Cell.t
+(** Smallest drive of [fn] whose electrical fanout [load/input_cap] stays at
+    or under [target] (largest drive if none qualifies). *)
+
+val apply : ?config:config -> lib:Cells.Library.t -> Netlist.Circuit.t -> int

@@ -1,0 +1,59 @@
+(* The optimization objective — equation (7):
+
+     Cost(O_i) = μ_i + α·σ_i
+
+   evaluated per output and maximized across outputs. α is the paper's
+   user-specified weight ranking variance reduction against mean delay:
+   α = 0 recovers a pure mean-delay optimizer (the "Original" baseline),
+   Table 1 reports α = 3 and α = 9, Fig. 4 sweeps α. *)
+
+type t = { alpha : float }
+
+let create ~alpha =
+  if alpha < 0.0 then invalid_arg "Objective.create: negative alpha";
+  { alpha }
+
+let mean_delay = { alpha = 0.0 }
+
+(* Yield-targeted objective: minimizing μ + z_p·σ minimizes the p-quantile
+   of the delay distribution, i.e. the clock period at which a fraction p of
+   dies meets timing. for_yield ~percentile:0.99 ≈ alpha 2.33. *)
+let for_yield ~percentile =
+  if not (percentile > 0.5 && percentile < 1.0) then
+    invalid_arg "Objective.for_yield: percentile must be in (0.5, 1)";
+  { alpha = Numerics.Normal.quantile percentile }
+
+let alpha t = t.alpha
+
+let cost_of_moments t (m : Numerics.Clark.moments) =
+  m.Numerics.Clark.mean +. (t.alpha *. Numerics.Clark.sigma m)
+
+(* Max of the per-output costs over a set of outputs. *)
+let cost_of_outputs t moments_of outputs =
+  match outputs with
+  | [] -> invalid_arg "Objective.cost_of_outputs: no outputs"
+  | os ->
+      List.fold_left
+        (fun acc o -> Float.max acc (cost_of_moments t (moments_of o)))
+        Float.neg_infinity os
+
+(* Cost of RV_O from per-output moments via the fast Clark max — the
+   statistical max over all outputs (paper §2.1). Unlike the max of
+   per-output costs, this blended form is sensitive to every near-critical
+   output, which matters for circuits with many symmetric outputs. *)
+let cost_of_rv ?(exact = false) t moments_of outputs =
+  match outputs with
+  | [] -> invalid_arg "Objective.cost_of_rv: no outputs"
+  | os ->
+      let max_list =
+        if exact then Numerics.Clark.max_exact_list
+        else Numerics.Clark.max_fast_list
+      in
+      cost_of_moments t (max_list (List.map moments_of os))
+
+(* Circuit-level objective from a FULLSSTA annotation: cost of RV_O, the
+   statistical max over all outputs (the quantity StatisticalGreedy's outer
+   loop monitors for convergence). *)
+let circuit_cost t full = cost_of_moments t (Ssta.Fullssta.output_moments full)
+
+let pp ppf t = Fmt.pf ppf "cost = mu + %g*sigma" t.alpha

@@ -1,0 +1,80 @@
+(** StatisticalGreedy — the paper's gain-based statistical sizing engine
+    (Fig. 2), plus the α = 0 mean-delay baseline configuration. The circuit
+    is resized in place. *)
+
+type commit_mode =
+  | Sequential
+      (** commit each winning resize immediately (default; avoids intra-batch
+          load conflicts) *)
+  | Batch  (** the paper's literal pseudocode: resize scheduled gates at the
+          end of the sweep *)
+
+type path_source =
+  | Dominant_path  (** the single dominant WNSS path (paper pseudocode) *)
+  | All_output_paths  (** union of per-output WNSS paths *)
+  | Critical_cone
+      (** every node not cutoff-dominated on some path to RV_O (default;
+          all of these shape RV_O's variance per conditions (5)/(6)) *)
+
+type config = {
+  objective : Objective.t;
+  model : Variation.Model.t;
+  window_depth : int;  (** TFI/TFO levels, paper uses 2 *)
+  max_iterations : int;
+  samples : int;  (** FULLSSTA pdf points *)
+  min_improvement : float;  (** relative outer-cost decrease to continue *)
+  patience : int;  (** consecutive non-improving iterations tolerated *)
+  move_threshold : float;  (** minimum window-cost gain (ps) per move *)
+  area_weight : float;  (** ps of move cost per unit of added area *)
+  commit_mode : commit_mode;
+  path_source : path_source;
+  evaluation : Window.mode;  (** trial scoring: windowed (paper) or global *)
+  electrical : Sta.Electrical.config;
+}
+
+val default_config : config
+(** α = 3, depth-2 windows, 12-point pdfs, sequential commits, per-output
+    path forest, 120 iterations max. *)
+
+val mean_delay_config : config
+(** The "Original" baseline: identical machinery at α = 0. *)
+
+type iteration = {
+  index : int;
+  cost : float;
+  mean : float;
+  sigma : float;
+  area : float;
+  resizes : int;
+  path_length : int;
+}
+
+type stop_reason = Converged | No_candidate | Iteration_limit
+
+type result = {
+  config : config;
+  initial_moments : Numerics.Clark.moments;
+  final_moments : Numerics.Clark.moments;
+  initial_area : float;
+  final_area : float;
+  iterations : iteration list;
+  stop_reason : stop_reason;
+  total_resizes : int;
+  cutoff_fraction : float;
+  runtime_s : float;
+}
+
+val optimize : ?config:config -> lib:Cells.Library.t -> Netlist.Circuit.t -> result
+
+val mean_change_pct :
+  original:Numerics.Clark.moments -> optimized:result -> float
+
+val sigma_change_pct :
+  original:Numerics.Clark.moments -> optimized:result -> float
+
+val area_change_pct : original_area:float -> optimized:result -> float
+
+val sigma_over_mean : Numerics.Clark.moments -> float
+
+val pp_stop_reason : stop_reason Fmt.t
+val pp_result : result Fmt.t

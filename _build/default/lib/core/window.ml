@@ -1,0 +1,357 @@
+(* Subcircuit evaluation — paper §4.5.
+
+   For a candidate gate and a trial size, the cost of the resize is judged
+   inside a window of two levels of transitive fanin/fanout: the trial cell
+   is installed, the window's electrical state (loads, slews, arc delays) is
+   re-derived in place, FASSTA propagates arrival moments from the frozen
+   FULLSSTA boundary values, and the cost is the worst Cost(O_i) = μ + α·σ
+   over the window's observed outputs. Everything is restored afterwards,
+   so trials are free of global side effects. *)
+
+(* How a trial is scored:
+   [Windowed] — FASSTA on the window only, boundary moments frozen from
+   FULLSSTA, outputs scored with the statistical-slack correction. This is
+   the paper's §4.5 scheme.
+   [Global] — the trial still only re-derives the window's electrical state
+   (slew perturbations die out within a couple of levels), but scoring
+   re-propagates arrival moments incrementally from the window to every
+   affected node downstream (changes below a decay tolerance stop the
+   wavefront) and prices the real RV_O — window myopia removed at roughly
+   O(affected region) per trial. *)
+type mode = Windowed | Global
+
+type t = {
+  circuit : Netlist.Circuit.t;
+  model : Variation.Model.t;
+  objective : Objective.t;
+  mode : mode;
+  electrical : Sta.Electrical.t; (* shared, mutated and restored per trial *)
+  boundary : Netlist.Circuit.id -> Numerics.Clark.moments;
+  down_mean : float array; (* remaining mean delay to any primary output *)
+  down_var : float array; (* delay variance along that downstream path *)
+  base : Numerics.Clark.moments array; (* arrivals for the committed sizes *)
+  mutable base_cost : float; (* RV_O cost of [base] *)
+  override : (int, Numerics.Clark.moments) Hashtbl.t; (* trial deltas *)
+  area_weight : float; (* ps of cost per unit of added area *)
+  wavefront : wavefront; (* scratch queue for incremental trials *)
+  stats : Ssta.Fassta.stats;
+}
+
+(* Mutable min-heap of node ids with a dedup bitmap: the change wavefront
+   must be processed in ascending id (= topological) order, and this runs
+   thousands of times per sizing iteration. *)
+and wavefront = {
+  mutable heap : int array;
+  mutable heap_len : int;
+  queued : bool array; (* sized to the circuit *)
+}
+
+(* Wavefront decay tolerance: a node whose recomputed moments move by less
+   than this (in ps, on mean and sigma) does not wake its fanouts. *)
+let epsilon_wave = 1e-3
+
+(* Statistical required-time estimate: for every node, the mean delay D of
+   the longest remaining path to a primary output, and the variance V
+   accumulated along that same path. A window output o is then scored as the
+   cost of the full worst path through it,
+
+     score(o) = Cost( N(μ_o + D(o), σ_o² + V(o)) ) = μ_o + D(o) + α·√(σ_o²+V(o))
+
+   which makes window-local deltas commensurate with the global objective:
+   slowing a shallow carry bit with hundreds of ps of chain left weighs as
+   much as slowing a gate that feeds a primary output directly, and variance
+   improvements are discounted by the variance the rest of the path will add
+   anyway. Without this slack correction the max across window outputs hides
+   collateral damage entirely. *)
+let downstream_stats ~model circuit electrical =
+  let n = Netlist.Circuit.size circuit in
+  let down_mean = Array.make n 0.0 in
+  let down_var = Array.make n 0.0 in
+  List.iter
+    (fun id ->
+      let fanins = Netlist.Circuit.fanins circuit id in
+      Array.iteri
+        (fun k fi ->
+          let arc = Ssta.Fassta.arc_moments model circuit electrical id k in
+          let cand_mean = arc.Numerics.Clark.mean +. down_mean.(id) in
+          if cand_mean > down_mean.(fi) then begin
+            down_mean.(fi) <- cand_mean;
+            down_var.(fi) <- arc.Numerics.Clark.var +. down_var.(id)
+          end)
+        fanins)
+    (List.rev (Netlist.Circuit.topological circuit));
+  (down_mean, down_var)
+
+let wavefront_create n =
+  { heap = Array.make 64 0; heap_len = 0; queued = Array.make n false }
+
+let wavefront_push w id =
+  if not w.queued.(id) then begin
+    w.queued.(id) <- true;
+    if w.heap_len = Array.length w.heap then begin
+      let grown = Array.make (2 * w.heap_len) 0 in
+      Array.blit w.heap 0 grown 0 w.heap_len;
+      w.heap <- grown
+    end;
+    w.heap.(w.heap_len) <- id;
+    w.heap_len <- w.heap_len + 1;
+    let i = ref (w.heap_len - 1) in
+    while !i > 0 && w.heap.((!i - 1) / 2) > w.heap.(!i) do
+      let p = (!i - 1) / 2 in
+      let tmp = w.heap.(p) in
+      w.heap.(p) <- w.heap.(!i);
+      w.heap.(!i) <- tmp;
+      i := p
+    done
+  end
+
+let wavefront_pop w =
+  if w.heap_len = 0 then -1
+  else begin
+    let top = w.heap.(0) in
+    w.heap_len <- w.heap_len - 1;
+    w.heap.(0) <- w.heap.(w.heap_len);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < w.heap_len && w.heap.(l) < w.heap.(!smallest) then smallest := l;
+      if r < w.heap_len && w.heap.(r) < w.heap.(!smallest) then smallest := r;
+      if !smallest <> !i then begin
+        let tmp = w.heap.(!i) in
+        w.heap.(!i) <- w.heap.(!smallest);
+        w.heap.(!smallest) <- tmp;
+        i := !smallest
+      end
+      else continue := false
+    done;
+    w.queued.(top) <- false;
+    top
+  end
+
+let rv_cost t moments_of =
+  Objective.cost_of_rv ~exact:true t.objective moments_of
+    (Netlist.Circuit.outputs t.circuit)
+
+(* Re-derive the committed-state arrival moments and their RV_O cost. *)
+let refresh_base t =
+  Ssta.Fassta.propagate_into ~exact:true ~model:t.model ~circuit:t.circuit
+    ~electrical:t.electrical t.base;
+  t.base_cost <- rv_cost t (fun o -> t.base.(o))
+
+let create ?(mode = Global) ?(area_weight = 0.0) ~circuit ~model ~objective
+    ~full () =
+  let electrical = Ssta.Fullssta.electrical full in
+  let down_mean, down_var = downstream_stats ~model circuit electrical in
+  let t =
+    {
+      circuit;
+      model;
+      objective;
+      mode;
+      electrical;
+      boundary = Ssta.Fullssta.moments full;
+      down_mean;
+      down_var;
+      base =
+        Array.make (Netlist.Circuit.size circuit)
+          (Numerics.Clark.moments ~mean:0.0 ~var:0.0);
+      base_cost = 0.0;
+      override = Hashtbl.create 997;
+      area_weight;
+      wavefront = wavefront_create (Netlist.Circuit.size circuit);
+      stats = Ssta.Fassta.make_stats ();
+    }
+  in
+  refresh_base t;
+  t
+
+let score t o (m : Numerics.Clark.moments) =
+  Objective.cost_of_moments t.objective
+    (Numerics.Clark.moments
+       ~mean:(m.Numerics.Clark.mean +. t.down_mean.(o))
+       ~var:(m.Numerics.Clark.var +. t.down_var.(o)))
+
+let windowed_cost t (sub : Netlist.Cone.subcircuit) =
+  let table =
+    Ssta.Fassta.propagate ~stats:t.stats ~model:t.model ~circuit:t.circuit
+      ~electrical:t.electrical ~boundary:t.boundary sub.Netlist.Cone.members
+  in
+  let moments_of id =
+    match Hashtbl.find_opt table id with Some m -> m | None -> t.boundary id
+  in
+  List.fold_left
+    (fun acc o -> Float.max acc (score t o (moments_of o)))
+    Float.neg_infinity sub.Netlist.Cone.window_outputs
+
+(* Global scoring uses exact-erf Clark moments: the paper's quadratic erf is
+   a 2-level-window device whose near-tie slope error compounds over whole
+   circuits (it overstated RV_O's sigma 2.4x on the c499-class parity
+   trees).
+
+   Incremental trial propagation: recompute the window members from the
+   cached base arrivals, then let the change wavefront run downstream,
+   stopping wherever the recomputed moments move by less than
+   [epsilon_wave]. Touched values live in [override]; [base] is never
+   mutated by a trial. *)
+let moments_at t id =
+  match Hashtbl.find_opt t.override id with Some m -> m | None -> t.base.(id)
+
+let recompute_node t id =
+  let fanins = Netlist.Circuit.fanins t.circuit id in
+  if Array.length fanins = 0 then t.base.(id)
+  else begin
+    let arcs = Sta.Electrical.arc_delays t.electrical id in
+    let strength = Cells.Cell.strength (Netlist.Circuit.cell_exn t.circuit id) in
+    let acc = ref None in
+    Array.iteri
+      (fun k fi ->
+        let arc =
+          Variation.Model.delay_moments t.model ~delay:arcs.(k) ~strength
+        in
+        let arrival = Numerics.Clark.sum (moments_at t fi) arc in
+        acc :=
+          Some
+            (match !acc with
+            | None -> arrival
+            | Some best -> Numerics.Clark.max_exact best arrival))
+      fanins;
+    match !acc with Some m -> m | None -> assert false
+  end
+
+let trial_cost t (sub : Netlist.Cone.subcircuit) =
+  Hashtbl.reset t.override;
+  let w = t.wavefront in
+  Array.iter (fun id -> wavefront_push w id) sub.Netlist.Cone.members;
+  let rec drain () =
+    let id = wavefront_pop w in
+    if id >= 0 then begin
+      let fresh = recompute_node t id in
+      let old = t.base.(id) in
+      let moved =
+        Float.abs (fresh.Numerics.Clark.mean -. old.Numerics.Clark.mean)
+        +. Float.abs (Numerics.Clark.sigma fresh -. Numerics.Clark.sigma old)
+        > epsilon_wave
+      in
+      if moved then begin
+        Hashtbl.replace t.override id fresh;
+        Netlist.Circuit.iter_fanouts t.circuit id ~f:(fun fo ->
+            wavefront_push w fo)
+      end
+      else Hashtbl.remove t.override id;
+      drain ()
+    end
+  in
+  drain ();
+  rv_cost t (moments_at t)
+
+(* Cost of the window as currently sized (no trial cell). *)
+let cost t (sub : Netlist.Cone.subcircuit) =
+  match t.mode with Windowed -> windowed_cost t sub | Global -> t.base_cost
+
+(* A heavier pivot burdens its fanin drivers; the logical-effort rule sizes
+   them up (never down) so the compound move crosses the coordination
+   barrier a single-gate move cannot: upsizing is only profitable when the
+   drivers strengthen with the load. *)
+let fanin_adjustments t ~lib pivot =
+  Array.to_list (Netlist.Circuit.fanins t.circuit pivot)
+  |> List.filter_map (fun fi ->
+         match Netlist.Circuit.cell t.circuit fi with
+         | None -> None (* primary input *)
+         | Some fanin_cell ->
+             let load = Netlist.Circuit.load t.circuit fi in
+             let rule =
+               Initial_sizing.pick_cell lib ~fn:(Cells.Cell.fn fanin_cell) ~load
+                 ~target:4.0
+             in
+             if Cells.Cell.strength rule > Cells.Cell.strength fanin_cell then
+               Some (fi, rule)
+             else None)
+
+(* Evaluate one trial cell for the window's pivot (plus its induced fanin
+   co-sizing): install, recompute the window electrically, score, restore.
+   Returns the cost and the fanin adjustments the trial would commit. *)
+let cost_with_cell ?(co_size = true) ~lib t (sub : Netlist.Cone.subcircuit) trial
+    =
+  let pivot = sub.Netlist.Cone.pivot in
+  let original = Netlist.Circuit.cell_exn t.circuit pivot in
+  let members = sub.Netlist.Cone.members in
+  let snap = Sta.Electrical.snapshot t.electrical members in
+  Netlist.Circuit.set_cell t.circuit pivot trial;
+  let adjustments = if co_size then fanin_adjustments t ~lib pivot else [] in
+  let saved =
+    List.map
+      (fun (fi, _) -> (fi, Netlist.Circuit.cell_exn t.circuit fi))
+      adjustments
+  in
+  List.iter
+    (fun (fi, cell) -> Netlist.Circuit.set_cell t.circuit fi cell)
+    adjustments;
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun (fi, cell) -> Netlist.Circuit.set_cell t.circuit fi cell)
+        saved;
+      Netlist.Circuit.set_cell t.circuit pivot original;
+      Sta.Electrical.restore t.electrical snap)
+    (fun () ->
+      Sta.Electrical.recompute_nodes t.electrical t.circuit members;
+      let c =
+        match t.mode with
+        | Windowed -> windowed_cost t sub
+        | Global -> trial_cost t sub
+      in
+      (* area-aware variant: price the area this move adds (baseline mean
+         optimization uses it to stop at diminishing returns) *)
+      let area_delta =
+        if t.area_weight = 0.0 then 0.0
+        else
+          Cells.Cell.area trial -. Cells.Cell.area original
+          +. List.fold_left
+               (fun acc ((fi, cell), (_, old_cell)) ->
+                 ignore fi;
+                 acc +. Cells.Cell.area cell -. Cells.Cell.area old_cell)
+               0.0
+               (List.combine adjustments saved)
+      in
+      (c +. (t.area_weight *. area_delta), adjustments))
+
+type verdict = {
+  best : Cells.Cell.t;
+  co_resizes : (Netlist.Circuit.id * Cells.Cell.t) list;
+  best_cost : float;
+  current_cost : float;
+}
+
+(* The inner loop of Fig. 2: try every available size for the pivot, return
+   the best cell, its induced fanin co-sizing, and its cost (ties keep the
+   incumbent). *)
+let best_size ?co_size t ~lib (sub : Netlist.Cone.subcircuit) =
+  let pivot = sub.Netlist.Cone.pivot in
+  let current = Netlist.Circuit.cell_exn t.circuit pivot in
+  let candidates = Cells.Library.sizes_of_fn lib (Cells.Cell.fn current) in
+  let current_cost = cost t sub in
+  let best =
+    ref { best = current; co_resizes = []; best_cost = current_cost; current_cost }
+  in
+  Array.iter
+    (fun cell ->
+      if not (Cells.Cell.equal cell current) then begin
+        let c, adjustments = cost_with_cell ?co_size ~lib t sub cell in
+        if c < !best.best_cost then
+          best :=
+            { !best with best = cell; co_resizes = adjustments; best_cost = c }
+      end)
+    candidates;
+  !best
+
+(* Make a committed resize visible to subsequent window evaluations. A full
+   electrical refresh is one cheap LUT sweep and guarantees later trials in
+   the same sweep never score against stale loads or slews; the cached base
+   arrivals are re-derived with it. *)
+let commit t (_sub : Netlist.Cone.subcircuit) =
+  Sta.Electrical.recompute_all t.electrical t.circuit;
+  refresh_base t
+
+let fassta_stats t = t.stats

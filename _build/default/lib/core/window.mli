@@ -1,0 +1,62 @@
+(** Subcircuit (window) evaluation for the sizing inner loop (paper §4.5):
+    FASSTA over a 2-level TFI/TFO window with frozen FULLSSTA boundary,
+    scored by the worst per-output Cost = μ + α·σ. *)
+
+type t
+
+type mode =
+  | Windowed  (** paper §4.5: FASSTA on the window with frozen FULLSSTA
+          boundary, statistical-slack scoring of window outputs *)
+  | Global
+      (** trial electrical update stays window-local, but scoring runs a
+          whole-circuit FASSTA pass against the real primary outputs *)
+
+val create :
+  ?mode:mode ->
+  ?area_weight:float ->
+  circuit:Netlist.Circuit.t ->
+  model:Variation.Model.t ->
+  objective:Objective.t ->
+  full:Ssta.Fullssta.t ->
+  unit ->
+  t
+(** Shares the FULLSSTA run's electrical state; trials mutate and restore
+    it, so the [full] annotation must come from the same circuit object.
+    Default mode: [Global]. [area_weight] (default 0) adds
+    ps-per-area-unit pricing of each move's area delta to trial costs —
+    the baseline mean optimizer uses it to stop at diminishing returns. *)
+
+val cost : t -> Netlist.Cone.subcircuit -> float
+(** Window cost as currently sized. *)
+
+val cost_with_cell :
+  ?co_size:bool ->
+  lib:Cells.Library.t ->
+  t ->
+  Netlist.Cone.subcircuit ->
+  Cells.Cell.t ->
+  float * (Netlist.Circuit.id * Cells.Cell.t) list
+(** Window cost with a trial cell installed on the pivot, together with the
+    fanin co-sizing the trial would commit (side-effect-free: circuit and
+    electrical state are restored). [co_size] (default true) also sizes the
+    pivot's fanin drivers up per the logical-effort rule, letting compound
+    moves cross the load-coordination barrier. *)
+
+type verdict = {
+  best : Cells.Cell.t;
+  co_resizes : (Netlist.Circuit.id * Cells.Cell.t) list;
+  best_cost : float;
+  current_cost : float;
+}
+
+val best_size :
+  ?co_size:bool -> t -> lib:Cells.Library.t -> Netlist.Cone.subcircuit -> verdict
+(** Best cell over every available size of the pivot's function (ties keep
+    the incumbent), with its induced co-sizing and window costs. *)
+
+val commit : t -> Netlist.Cone.subcircuit -> unit
+(** Re-derive the window's electrical state after a committed resize so
+    later evaluations in the same outer iteration see it. *)
+
+val fassta_stats : t -> Ssta.Fassta.stats
+(** Accumulated cutoff/blend counts across all evaluations. *)

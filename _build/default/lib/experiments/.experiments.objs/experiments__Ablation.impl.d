@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Benchgen Core Fmt List Pipeline

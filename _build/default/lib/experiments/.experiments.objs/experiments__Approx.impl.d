@@ -1,0 +1,1 @@
+lib/experiments/approx.ml: Benchgen Core Float Fmt List Numerics Ssta

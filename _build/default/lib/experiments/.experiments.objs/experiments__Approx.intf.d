@@ -1,0 +1,1 @@
+lib/experiments/approx.mli: Cells Fmt

@@ -1,0 +1,1 @@
+lib/experiments/fig1.ml: Benchgen Fmt List Numerics Pipeline Printf Ssta

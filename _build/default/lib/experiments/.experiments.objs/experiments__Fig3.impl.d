@@ -1,0 +1,1 @@
+lib/experiments/fig3.ml: Core Float Fmt List Numerics

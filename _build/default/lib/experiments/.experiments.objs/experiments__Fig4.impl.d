@@ -1,0 +1,1 @@
+lib/experiments/fig4.ml: Benchgen Fmt List Numerics Pipeline

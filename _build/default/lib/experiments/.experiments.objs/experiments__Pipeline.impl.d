@@ -1,0 +1,1 @@
+lib/experiments/pipeline.ml: Core List Netlist Numerics Ssta Sys

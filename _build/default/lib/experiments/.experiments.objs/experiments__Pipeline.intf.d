@@ -1,0 +1,1 @@
+lib/experiments/pipeline.mli: Cells Core Netlist Numerics

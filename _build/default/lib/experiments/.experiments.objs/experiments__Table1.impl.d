@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Benchgen Buffer Float Fmt Fun List Pipeline Printf

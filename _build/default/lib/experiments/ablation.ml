@@ -1,0 +1,85 @@
+(* Ablation study over the sizer's design choices (DESIGN.md §7):
+
+   - commit mode: the paper's literal batch commit vs sequential commit;
+   - path source: the paper's single dominant WNSS path vs the per-output
+     forest vs the cutoff-bounded critical cone;
+   - evaluation: the paper's 2-level window with frozen boundary vs global
+     incremental scoring.
+
+   Each variant starts from the same mean-optimized baseline and reports the
+   sigma reduction, area increase and runtime it achieves at one alpha. *)
+
+type variant = { label : string; config : Core.Sizer.config }
+
+let variants ~alpha =
+  let base =
+    { Core.Sizer.default_config with objective = Core.Objective.create ~alpha }
+  in
+  [
+    { label = "default (cone, sequential, global)"; config = base };
+    {
+      label = "paper-literal (dominant path, batch, windowed)";
+      config =
+        {
+          base with
+          commit_mode = Core.Sizer.Batch;
+          path_source = Core.Sizer.Dominant_path;
+          evaluation = Core.Window.Windowed;
+        };
+    };
+    {
+      label = "dominant path only";
+      config = { base with path_source = Core.Sizer.Dominant_path };
+    };
+    {
+      label = "per-output forest";
+      config = { base with path_source = Core.Sizer.All_output_paths };
+    };
+    { label = "batch commit"; config = { base with commit_mode = Core.Sizer.Batch } };
+    {
+      label = "windowed evaluation";
+      config = { base with evaluation = Core.Window.Windowed };
+    };
+  ]
+
+type row = {
+  label : string;
+  sigma_change_pct : float;
+  mean_change_pct : float;
+  area_change_pct : float;
+  iterations : int;
+  runtime_s : float;
+}
+
+let run ?(circuit_name = "c432") ?(alpha = 9.0) ~lib () =
+  let entry =
+    match Benchgen.Iscas_like.find circuit_name with
+    | Some e -> e
+    | None -> invalid_arg ("Ablation.run: unknown circuit " ^ circuit_name)
+  in
+  let baseline = Pipeline.prepare ~lib (fun () -> entry.build ~lib) in
+  List.map
+    (fun v ->
+      let r =
+        Pipeline.run_alpha ~recover:false ~config:v.config ~lib baseline ~alpha
+      in
+      {
+        label = v.label;
+        sigma_change_pct = r.Pipeline.sigma_change_pct;
+        mean_change_pct = r.Pipeline.mean_change_pct;
+        area_change_pct = r.Pipeline.area_change_pct;
+        iterations = r.Pipeline.iterations;
+        runtime_s = r.Pipeline.runtime_s;
+      })
+    (variants ~alpha)
+
+let pp ppf rows =
+  Fmt.pf ppf "ablation (no area recovery):@.";
+  Fmt.pf ppf "  %-48s %8s %8s %8s %6s %8s@." "variant" "dsig%" "dmu%" "darea%"
+    "iters" "time(s)";
+  List.iter
+    (fun r ->
+      Fmt.pf ppf "  %-48s %+8.1f %+8.1f %+8.1f %6d %8.1f@." r.label
+        r.sigma_change_pct r.mean_change_pct r.area_change_pct r.iterations
+        r.runtime_s)
+    rows

@@ -1,0 +1,16 @@
+(** Ablation study over the sizer's design choices (commit mode, path
+    source, evaluation mode), all from one shared baseline. *)
+
+type row = {
+  label : string;
+  sigma_change_pct : float;
+  mean_change_pct : float;
+  area_change_pct : float;
+  iterations : int;
+  runtime_s : float;
+}
+
+val run :
+  ?circuit_name:string -> ?alpha:float -> lib:Cells.Library.t -> unit -> row list
+
+val pp : row list Fmt.t

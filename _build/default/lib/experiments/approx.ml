@@ -1,0 +1,108 @@
+(* §4.3 approximation study:
+
+   1. the quadratic erf is accurate to "two decimal places";
+   2. the fast Clark max (quadratic erf + 2.6 cutoff) stays close to the
+      exact Clark moments and to Monte Carlo over random operand pairs;
+   3. the cutoff conditions (5)/(6) fire "in the vast majority of cases"
+      during real circuit propagation. *)
+
+type erf_report = { max_abs_error : float }
+
+let erf_study () = { max_abs_error = Numerics.Erf.max_quadratic_error () }
+
+type max_report = {
+  cases : int;
+  worst_mean_err_vs_exact : float; (* fast vs exact, relative to exact mean *)
+  worst_sigma_err_vs_exact : float; (* relative to exact sigma *)
+  worst_mean_err_exact_vs_mc : float;
+  worst_sigma_err_exact_vs_mc : float;
+  cutoff_fraction : float; (* how often (5)/(6) resolved the fast max *)
+}
+
+let mc_max rng ~trials (a : Numerics.Clark.moments) (b : Numerics.Clark.moments) =
+  let stats = Numerics.Stats.create () in
+  for _ = 1 to trials do
+    let xa =
+      Numerics.Rng.gaussian_scaled rng ~mean:a.Numerics.Clark.mean
+        ~sigma:(Numerics.Clark.sigma a)
+    and xb =
+      Numerics.Rng.gaussian_scaled rng ~mean:b.Numerics.Clark.mean
+        ~sigma:(Numerics.Clark.sigma b)
+    in
+    Numerics.Stats.add stats (Float.max xa xb)
+  done;
+  Numerics.Clark.moments ~mean:(Numerics.Stats.mean stats)
+    ~var:(Numerics.Stats.variance stats)
+
+let max_study ?(cases = 500) ?(trials = 20000) ?(seed = 42) () =
+  let rng = Numerics.Rng.create ~seed in
+  let cutoff_hits = ref 0 in
+  let worst = ref (0.0, 0.0, 0.0, 0.0) in
+  for _ = 1 to cases do
+    let mu_a = Numerics.Rng.float_range rng ~lo:50.0 ~hi:500.0 in
+    let mu_b = mu_a +. Numerics.Rng.float_range rng ~lo:(-80.0) ~hi:80.0 in
+    let sd_a = Numerics.Rng.float_range rng ~lo:2.0 ~hi:40.0 in
+    let sd_b = Numerics.Rng.float_range rng ~lo:2.0 ~hi:40.0 in
+    let a = Numerics.Clark.moments ~mean:mu_a ~var:(sd_a *. sd_a) in
+    let b = Numerics.Clark.moments ~mean:mu_b ~var:(sd_b *. sd_b) in
+    let exact = Numerics.Clark.max_exact a b in
+    let fast, resolution = Numerics.Clark.max_fast_resolved a b in
+    (match resolution with
+    | Numerics.Clark.Left_dominates | Numerics.Clark.Right_dominates ->
+        incr cutoff_hits
+    | Numerics.Clark.Blended -> ());
+    let mc = mc_max rng ~trials a b in
+    let rel x ref_v = Float.abs (x -. ref_v) /. Float.max (Float.abs ref_v) 1e-9 in
+    let m1, s1, m2, s2 = !worst in
+    worst :=
+      ( Float.max m1
+          (rel fast.Numerics.Clark.mean exact.Numerics.Clark.mean),
+        Float.max s1
+          (rel (Numerics.Clark.sigma fast) (Numerics.Clark.sigma exact)),
+        Float.max m2 (rel exact.Numerics.Clark.mean mc.Numerics.Clark.mean),
+        Float.max s2
+          (rel (Numerics.Clark.sigma exact) (Numerics.Clark.sigma mc)) )
+  done;
+  let m1, s1, m2, s2 = !worst in
+  {
+    cases;
+    worst_mean_err_vs_exact = m1;
+    worst_sigma_err_vs_exact = s1;
+    worst_mean_err_exact_vs_mc = m2;
+    worst_sigma_err_exact_vs_mc = s2;
+    cutoff_fraction = float_of_int !cutoff_hits /. float_of_int cases;
+  }
+
+(* Cutoff-hit fraction during real circuit propagation, per suite circuit. *)
+let cutoff_study ?(names = [ "alu1"; "c432"; "c499"; "c880" ]) ~lib () =
+  List.filter_map
+    (fun name ->
+      match Benchgen.Iscas_like.find name with
+      | None -> None
+      | Some entry ->
+          let c = entry.Benchgen.Iscas_like.build ~lib in
+          let _ = Core.Initial_sizing.apply ~lib c in
+          let stats = Ssta.Fassta.make_stats () in
+          let _ = Ssta.Fassta.run ~stats c in
+          Some (name, Ssta.Fassta.cutoff_fraction stats))
+    names
+
+let pp_erf ppf r =
+  Fmt.pf ppf "quadratic erf: max |error| = %.4f (paper: two decimal places)@."
+    r.max_abs_error
+
+let pp_max ppf r =
+  Fmt.pf ppf
+    "@[<v>fast Clark max over %d random pairs:@ vs exact Clark: worst dmu %.2f%%, \
+     worst dsigma %.2f%%@ exact Clark vs MC: worst dmu %.2f%%, worst dsigma \
+     %.2f%%@ cutoff (5)/(6) resolved %.0f%% of cases@]@."
+    r.cases
+    (100.0 *. r.worst_mean_err_vs_exact)
+    (100.0 *. r.worst_sigma_err_vs_exact)
+    (100.0 *. r.worst_mean_err_exact_vs_mc)
+    (100.0 *. r.worst_sigma_err_exact_vs_mc)
+    (100.0 *. r.cutoff_fraction)
+
+let pp_cutoffs ppf rows =
+  Fmt.pf ppf "cutoff-hit fraction during whole-circuit FASSTA:@.";
+  List.iter (fun (n, f) -> Fmt.pf ppf "  %-8s %5.1f%%@." n (100.0 *. f)) rows

@@ -1,0 +1,25 @@
+(** §4.3 approximation study: quadratic-erf accuracy, fast-Clark-max
+    accuracy vs exact Clark and Monte Carlo, and the cutoff hit rate. *)
+
+type erf_report = { max_abs_error : float }
+
+val erf_study : unit -> erf_report
+
+type max_report = {
+  cases : int;
+  worst_mean_err_vs_exact : float;
+  worst_sigma_err_vs_exact : float;
+  worst_mean_err_exact_vs_mc : float;
+  worst_sigma_err_exact_vs_mc : float;
+  cutoff_fraction : float;
+}
+
+val max_study : ?cases:int -> ?trials:int -> ?seed:int -> unit -> max_report
+
+val cutoff_study :
+  ?names:string list -> lib:Cells.Library.t -> unit -> (string * float) list
+(** Cutoff-hit fraction during whole-circuit FASSTA, per suite circuit. *)
+
+val pp_erf : erf_report Fmt.t
+val pp_max : max_report Fmt.t
+val pp_cutoffs : (string * float) list Fmt.t

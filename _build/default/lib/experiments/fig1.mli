@@ -1,0 +1,26 @@
+(** Fig. 1 reproduction: circuit output delay pdf at three optimization
+    points, with Monte-Carlo cross-checks and yield at a fixed period. *)
+
+type curve = {
+  label : string;
+  alpha : float option;
+  mean : float;
+  sigma : float;
+  pdf_points : (float * float) list;
+  mc_mean : float;
+  mc_sigma : float;
+}
+
+type result = {
+  circuit_name : string;
+  curves : curve list;
+  period : float;
+  yields_at_period : (string * float) list;
+}
+
+val run :
+  ?circuit_name:string -> ?alphas:float * float -> lib:Cells.Library.t -> unit ->
+  result
+
+val pp : result Fmt.t
+val to_series : result -> (string * (float * float) list) list

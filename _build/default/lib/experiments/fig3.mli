@@ -1,0 +1,16 @@
+(** Fig. 3 reproduction: WNSS tracing on the paper's 6-gate example with
+    the figure's exact (μ, σ) arrival values. *)
+
+type node = X | G1 | G2 | G3 | G4 | G5
+
+val name : node -> string
+val arrival : node -> Numerics.Clark.moments
+val contributions : node -> (node * Numerics.Clark.moments) list
+
+type result = {
+  path : node list;
+  decisions : (node * node * string) list;
+}
+
+val trace : ?config:Core.Wnss.config -> unit -> result
+val pp : result Fmt.t

@@ -1,0 +1,64 @@
+(* Fig. 4 — the normalized mean / sigma trade-off plot for c432: sweep the
+   weight alpha and plot (mu / mu_original, sigma / mu_original). The paper
+   shows sigma falling as alpha grows from 3 to 9, with the mean drifting
+   within a few percent, and saturation at high alpha (the unsystematic
+   floor cannot be optimized away). *)
+
+type point = {
+  alpha : float;
+  normalized_mean : float; (* mu / mu_original *)
+  normalized_sigma : float; (* sigma / mu_original *)
+  area_change_pct : float;
+}
+
+type result = {
+  circuit_name : string;
+  original_sigma_over_mean : float;
+  points : point list; (* ascending alpha; alpha = 0 is the original *)
+}
+
+let default_alphas = [ 3.0; 6.0; 9.0 ]
+
+let run ?(circuit_name = "c432") ?(alphas = default_alphas) ~lib () =
+  let entry =
+    match Benchgen.Iscas_like.find circuit_name with
+    | Some e -> e
+    | None -> invalid_arg ("Fig4.run: unknown circuit " ^ circuit_name)
+  in
+  let baseline = Pipeline.prepare ~lib (fun () -> entry.build ~lib) in
+  let mu0 = baseline.Pipeline.moments.Numerics.Clark.mean in
+  let origin =
+    {
+      alpha = 0.0;
+      normalized_mean = 1.0;
+      normalized_sigma = Numerics.Clark.sigma baseline.Pipeline.moments /. mu0;
+      area_change_pct = 0.0;
+    }
+  in
+  let points =
+    List.map
+      (fun alpha ->
+        let r = Pipeline.run_alpha ~lib baseline ~alpha in
+        {
+          alpha;
+          normalized_mean = r.Pipeline.final_moments.Numerics.Clark.mean /. mu0;
+          normalized_sigma =
+            Numerics.Clark.sigma r.Pipeline.final_moments /. mu0;
+          area_change_pct = r.Pipeline.area_change_pct;
+        })
+      alphas
+  in
+  {
+    circuit_name;
+    original_sigma_over_mean = origin.normalized_sigma;
+    points = origin :: points;
+  }
+
+let pp ppf r =
+  Fmt.pf ppf "Fig.4 — normalized mean/sigma plot for %s@." r.circuit_name;
+  Fmt.pf ppf "  %-7s %12s %13s %8s@." "alpha" "mu/mu0" "sigma/mu0" "darea%";
+  List.iter
+    (fun p ->
+      Fmt.pf ppf "  %-7g %12.4f %13.4f %+8.1f@." p.alpha p.normalized_mean
+        p.normalized_sigma p.area_change_pct)
+    r.points

@@ -1,0 +1,23 @@
+(** Fig. 4 reproduction: normalized (μ/μ₀, σ/μ₀) sweep over α for one
+    circuit (default c432, α ∈ {3, 6, 9} plus the α = 0 origin). *)
+
+type point = {
+  alpha : float;
+  normalized_mean : float;
+  normalized_sigma : float;
+  area_change_pct : float;
+}
+
+type result = {
+  circuit_name : string;
+  original_sigma_over_mean : float;
+  points : point list;
+}
+
+val default_alphas : float list
+
+val run :
+  ?circuit_name:string -> ?alphas:float list -> lib:Cells.Library.t -> unit ->
+  result
+
+val pp : result Fmt.t

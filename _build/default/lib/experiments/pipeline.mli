@@ -1,0 +1,42 @@
+(** Shared experiment pipeline: generate → initial sizing → mean-delay
+    baseline ("Original") → StatisticalGreedy at α → area recovery →
+    measure. *)
+
+type baseline = {
+  circuit : Netlist.Circuit.t;
+  moments : Numerics.Clark.moments;
+  area : float;
+  gates : int;
+  prep_runtime_s : float;
+}
+
+val sigma_over_mean : Numerics.Clark.moments -> float
+
+val prepare :
+  ?mean_config:Core.Sizer.config ->
+  lib:Cells.Library.t ->
+  (unit -> Netlist.Circuit.t) ->
+  baseline
+
+type stat_run = {
+  alpha : float;
+  circuit : Netlist.Circuit.t;
+  final_moments : Numerics.Clark.moments;
+  final_area : float;
+  mean_change_pct : float;
+  sigma_change_pct : float;
+  final_sigma_over_mean : float;
+  area_change_pct : float;
+  iterations : int;
+  resizes : int;
+  runtime_s : float;
+}
+
+val run_alpha :
+  ?recover:bool ->
+  ?config:Core.Sizer.config ->
+  lib:Cells.Library.t ->
+  baseline ->
+  alpha:float ->
+  stat_run
+(** Copies the baseline circuit, so runs at different α are independent. *)

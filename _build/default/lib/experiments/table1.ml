@@ -1,0 +1,124 @@
+(* Table 1 — the paper's headline result: for each benchmark circuit, the
+   mean-optimized baseline's sigma/mean, then for each alpha the change in
+   mean, the change in sigma, the final sigma/mean, the change in area, and
+   the runtime. *)
+
+type row = {
+  name : string;
+  gates : int;
+  original_sigma_over_mean : float;
+  runs : Pipeline.stat_run list; (* one per alpha, in order *)
+}
+
+let default_alphas = [ 3.0; 9.0 ]
+
+let run_circuit ?(alphas = default_alphas) ?sizer_config ~lib
+    (entry : Benchgen.Iscas_like.entry) =
+  let baseline = Pipeline.prepare ~lib (fun () -> entry.build ~lib) in
+  let runs =
+    List.map
+      (fun alpha -> Pipeline.run_alpha ?config:sizer_config ~lib baseline ~alpha)
+      alphas
+  in
+  {
+    name = entry.Benchgen.Iscas_like.name;
+    gates = baseline.Pipeline.gates;
+    original_sigma_over_mean = Pipeline.sigma_over_mean baseline.Pipeline.moments;
+    runs;
+  }
+
+let run ?(alphas = default_alphas) ?sizer_config ?(names = Benchgen.Iscas_like.names)
+    ~lib () =
+  List.filter_map
+    (fun name ->
+      match Benchgen.Iscas_like.find name with
+      | None -> None
+      | Some entry ->
+          Fmt.epr "[table1] %s...@." name;
+          let row = run_circuit ~alphas ?sizer_config ~lib entry in
+          Fmt.epr "[table1] %s done (%.1f s)@." name
+            (List.fold_left
+               (fun acc (r : Pipeline.stat_run) -> acc +. r.runtime_s)
+               0.0 row.runs);
+          Some row)
+    names
+
+let pp_header ppf alphas =
+  Fmt.pf ppf "%-8s %6s %9s" "circuit" "gates" "orig s/m";
+  List.iter
+    (fun a ->
+      Fmt.pf ppf " | a=%-3g %6s %7s %7s %7s %8s" a "dmu%" "dsig%" "s/m" "darea%"
+        "time(m)")
+    alphas;
+  Fmt.pf ppf "@."
+
+let pp_row ppf row =
+  Fmt.pf ppf "%-8s %6d %9.3f" row.name row.gates row.original_sigma_over_mean;
+  List.iter
+    (fun (r : Pipeline.stat_run) ->
+      Fmt.pf ppf " |       %+6.1f %+7.1f %7.3f %+7.1f %8.2f" r.mean_change_pct
+        r.sigma_change_pct r.final_sigma_over_mean r.area_change_pct
+        (r.runtime_s /. 60.0))
+    row.runs;
+  Fmt.pf ppf "@."
+
+let pp ppf rows =
+  match rows with
+  | [] -> Fmt.pf ppf "(no rows)@."
+  | first :: _ ->
+      pp_header ppf (List.map (fun (r : Pipeline.stat_run) -> r.alpha) first.runs);
+      List.iter (pp_row ppf) rows
+
+let to_csv rows =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "circuit,gates,original_sigma_over_mean,alpha,mean_change_pct,sigma_change_pct,final_sigma_over_mean,area_change_pct,runtime_s\n";
+  List.iter
+    (fun row ->
+      List.iter
+        (fun (r : Pipeline.stat_run) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s,%d,%.5f,%g,%.2f,%.2f,%.5f,%.2f,%.2f\n" row.name
+               row.gates row.original_sigma_over_mean r.alpha r.mean_change_pct
+               r.sigma_change_pct r.final_sigma_over_mean r.area_change_pct
+               r.runtime_s))
+        row.runs)
+    rows;
+  Buffer.contents buf
+
+(* The paper-shape checks EXPERIMENTS.md tracks: sigma falls everywhere,
+   falls further at the larger alpha for most circuits, mean moves only
+   mildly, area grows. *)
+type shape = {
+  all_sigma_reduced : bool;
+  monotone_alpha_fraction : float;
+  mean_within_10_pct : bool;
+  area_increases : bool;
+}
+
+let shape rows =
+  let all_runs = List.concat_map (fun r -> r.runs) rows in
+  let monotone =
+    List.filter_map
+      (fun row ->
+        match row.runs with
+        | [ a; b ] -> Some (b.Pipeline.sigma_change_pct <= a.Pipeline.sigma_change_pct +. 1.0)
+        | _ -> None)
+      rows
+  in
+  {
+    all_sigma_reduced =
+      List.for_all (fun (r : Pipeline.stat_run) -> r.sigma_change_pct < 0.0) all_runs;
+    monotone_alpha_fraction =
+      (match monotone with
+      | [] -> Float.nan
+      | ms ->
+          float_of_int (List.length (List.filter Fun.id ms))
+          /. float_of_int (List.length ms));
+    mean_within_10_pct =
+      List.for_all
+        (fun (r : Pipeline.stat_run) -> Float.abs r.mean_change_pct <= 10.0)
+        all_runs;
+    area_increases =
+      List.for_all (fun (r : Pipeline.stat_run) -> r.area_change_pct > -1.0) all_runs;
+  }

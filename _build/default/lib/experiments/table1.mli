@@ -1,0 +1,40 @@
+(** Table 1 reproduction: per circuit, baseline σ/μ and per-α Δμ%, Δσ%,
+    final σ/μ, Δarea%, runtime. *)
+
+type row = {
+  name : string;
+  gates : int;
+  original_sigma_over_mean : float;
+  runs : Pipeline.stat_run list;
+}
+
+val default_alphas : float list
+(** [3; 9], as in the paper. *)
+
+val run_circuit :
+  ?alphas:float list ->
+  ?sizer_config:Core.Sizer.config ->
+  lib:Cells.Library.t ->
+  Benchgen.Iscas_like.entry ->
+  row
+
+val run :
+  ?alphas:float list ->
+  ?sizer_config:Core.Sizer.config ->
+  ?names:string list ->
+  lib:Cells.Library.t ->
+  unit ->
+  row list
+
+val pp : row list Fmt.t
+val to_csv : row list -> string
+
+type shape = {
+  all_sigma_reduced : bool;
+  monotone_alpha_fraction : float;
+  mean_within_10_pct : bool;
+  area_increases : bool;
+}
+
+val shape : row list -> shape
+(** The qualitative paper-shape checks EXPERIMENTS.md tracks. *)

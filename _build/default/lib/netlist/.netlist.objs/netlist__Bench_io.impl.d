@@ -1,0 +1,1 @@
+lib/netlist/bench_io.ml: Array Buffer Build Cells Circuit Fun Hashtbl In_channel List Printf String

@@ -1,0 +1,1 @@
+lib/netlist/build.ml: Array Cells Circuit List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/netlist/build.mli: Cells Circuit

@@ -1,0 +1,1 @@
+lib/netlist/circuit.ml: Array Cells Fmt Fun Hashtbl List Printf Vec

@@ -1,0 +1,1 @@
+lib/netlist/cone.ml: Array Circuit Fmt Hashtbl Int List Set Stdlib

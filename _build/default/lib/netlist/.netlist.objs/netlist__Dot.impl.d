@@ -1,0 +1,1 @@
+lib/netlist/dot.ml: Array Buffer Cells Circuit Fun List Printf String

@@ -1,0 +1,1 @@
+lib/netlist/metrics.ml: Array Cells Circuit Fmt Hashtbl Levelize List Option Stdlib String

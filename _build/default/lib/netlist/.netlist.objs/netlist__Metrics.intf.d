@@ -1,0 +1,1 @@
+lib/netlist/metrics.mli: Circuit Fmt

@@ -1,0 +1,1 @@
+lib/netlist/verilog.ml: Array Buffer Cells Char Circuit Fun List Printf String

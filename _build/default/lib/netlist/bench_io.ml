@@ -1,0 +1,181 @@
+(* ISCAS-85 [.bench] reader and writer.
+
+   Reading performs the technology-mapping step the paper delegates to Design
+   Compiler: bench primitives become minimum-size library cells, and gates
+   wider than the library's arity cap are decomposed into balanced trees.
+   Definitions may appear in any order; we instantiate in dependency order.
+
+   Writing emits a superset dialect: every cell function prints under its
+   library name (AOI21/OAI21/MUX2 included), which this reader accepts back,
+   so write/read round-trips preserve structure. *)
+
+exception Parse_error of { line : int; message : string }
+
+let fail line fmt =
+  Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+type def = { op : string; args : string list; line : int }
+
+type parsed = {
+  inputs : (string * int) list; (* name, line *)
+  outputs : (string * int) list;
+  defs : (string, def) Hashtbl.t;
+  def_order : string list;
+}
+
+let is_blank s = String.for_all (fun c -> c = ' ' || c = '\t' || c = '\r') s
+
+let parse_line ~line ~acc text =
+  let text = String.trim text in
+  if text = "" || text.[0] = '#' then acc
+  else
+    let lparen =
+      match String.index_opt text '(' with
+      | Some i -> i
+      | None -> fail line "expected '(' in %S" text
+    in
+    let rparen =
+      match String.rindex_opt text ')' with
+      | Some i when i > lparen -> i
+      | _ -> fail line "expected ')' in %S" text
+    in
+    let args_text = String.sub text (lparen + 1) (rparen - lparen - 1) in
+    let args =
+      String.split_on_char ',' args_text
+      |> List.map String.trim
+      |> List.filter (fun s -> s <> "")
+    in
+    match String.index_opt text '=' with
+    | None -> (
+        let keyword = String.trim (String.sub text 0 lparen) in
+        match (String.uppercase_ascii keyword, args) with
+        | "INPUT", [ name ] -> { acc with inputs = (name, line) :: acc.inputs }
+        | "OUTPUT", [ name ] -> { acc with outputs = (name, line) :: acc.outputs }
+        | _ -> fail line "expected INPUT(x) or OUTPUT(x), got %S" text)
+    | Some eq ->
+        let name = String.trim (String.sub text 0 eq) in
+        let op =
+          String.uppercase_ascii (String.trim (String.sub text (eq + 1) (lparen - eq - 1)))
+        in
+        if name = "" then fail line "missing gate name in %S" text;
+        if args = [] then fail line "gate %S has no operands" name;
+        if Hashtbl.mem acc.defs name then fail line "duplicate definition of %S" name;
+        Hashtbl.add acc.defs name { op; args; line };
+        { acc with def_order = name :: acc.def_order }
+
+let parse_text text =
+  let acc =
+    { inputs = []; outputs = []; defs = Hashtbl.create 997; def_order = [] }
+  in
+  let lines = String.split_on_char '\n' text in
+  let acc, _ =
+    List.fold_left
+      (fun (acc, n) l ->
+        ((if is_blank l then acc else parse_line ~line:n ~acc l), n + 1))
+      (acc, 1) lines
+  in
+  {
+    acc with
+    inputs = List.rev acc.inputs;
+    outputs = List.rev acc.outputs;
+    def_order = List.rev acc.def_order;
+  }
+
+let instantiate_gate builder ~name def ids =
+  let module F = Cells.Fn in
+  match (def.op, List.length ids) with
+  | ("NOT" | "INV"), 1 -> Build.not_ ~name builder (List.hd ids)
+  | ("BUF" | "BUFF"), 1 -> Build.buf ~name builder (List.hd ids)
+  | ("AND" | "AND2" | "AND3" | "AND4"), n when n >= 2 -> Build.and_ ~name builder ids
+  | ("OR" | "OR2" | "OR3" | "OR4"), n when n >= 2 -> Build.or_ ~name builder ids
+  | ("NAND" | "NAND2" | "NAND3" | "NAND4"), n when n >= 2 -> Build.nand ~name builder ids
+  | ("NOR" | "NOR2" | "NOR3" | "NOR4"), n when n >= 2 -> Build.nor ~name builder ids
+  | ("XOR" | "XOR2"), n when n >= 2 -> Build.xor ~name builder ids
+  | ("XNOR" | "XNOR2"), 2 ->
+      (match ids with
+      | [ a; b ] -> Build.xnor2 ~name builder a b
+      | _ -> assert false)
+  | ("XNOR" | "XNOR2"), n when n > 2 -> Build.not_ ~name builder (Build.xor builder ids)
+  | "AOI21", 3 ->
+      (match ids with [ a; b; c ] -> Build.aoi21 ~name builder a b c | _ -> assert false)
+  | "OAI21", 3 ->
+      (match ids with [ a; b; c ] -> Build.oai21 ~name builder a b c | _ -> assert false)
+  | "MUX2", 3 ->
+      (match ids with
+      | [ a; b; s ] -> Build.mux2 ~name builder ~sel:s ~a ~b
+      | _ -> assert false)
+  | op, n -> fail def.line "unsupported gate %s/%d for %S" op n name
+
+let map_to_circuit ?(name = "bench") ~lib parsed =
+  let builder = Build.create ~lib ~name () in
+  List.iter
+    (fun (input_name, line) ->
+      if Hashtbl.mem parsed.defs input_name then
+        fail line "node %S is both INPUT and a gate" input_name;
+      ignore (Build.input builder ~name:input_name))
+    parsed.inputs;
+  let circuit = Build.circuit builder in
+  (* Dependency-ordered instantiation (definitions may be out of order). *)
+  let visiting = Hashtbl.create 97 in
+  let rec resolve ref_name ~line =
+    match Circuit.find circuit ~name:ref_name with
+    | Some id -> id
+    | None -> (
+        match Hashtbl.find_opt parsed.defs ref_name with
+        | None -> fail line "reference to undefined signal %S" ref_name
+        | Some def ->
+            if Hashtbl.mem visiting ref_name then
+              fail def.line "combinational cycle through %S" ref_name;
+            Hashtbl.add visiting ref_name ();
+            let ids = List.map (fun a -> resolve a ~line:def.line) def.args in
+            Hashtbl.remove visiting ref_name;
+            instantiate_gate builder ~name:ref_name def ids)
+  in
+  List.iter (fun n -> ignore (resolve n ~line:0)) parsed.def_order;
+  List.iter
+    (fun (out_name, line) ->
+      Circuit.mark_output circuit (resolve out_name ~line))
+    parsed.outputs;
+  Build.finish builder
+
+let of_string ?name ~lib text = map_to_circuit ?name ~lib (parse_text text)
+
+let load ?name ~lib ~path () =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string ?name ~lib (In_channel.input_all ic))
+
+let to_string t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "# %s — emitted by statsize\n" (Circuit.name t));
+  List.iter
+    (fun id ->
+      Buffer.add_string buf (Printf.sprintf "INPUT(%s)\n" (Circuit.node_name t id)))
+    (Circuit.inputs t);
+  List.iter
+    (fun id ->
+      Buffer.add_string buf (Printf.sprintf "OUTPUT(%s)\n" (Circuit.node_name t id)))
+    (Circuit.outputs t);
+  List.iter
+    (fun id ->
+      match Circuit.cell t id with
+      | None -> ()
+      | Some cell ->
+          let args =
+            Circuit.fanins t id |> Array.to_list
+            |> List.map (Circuit.node_name t)
+            |> String.concat ", "
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "%s = %s(%s)\n" (Circuit.node_name t id)
+               (Cells.Fn.name (Cells.Cell.fn cell))
+               args))
+    (Circuit.topological t);
+  Buffer.contents buf
+
+let save t ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t))

@@ -1,0 +1,14 @@
+(** ISCAS-85 [.bench] reader/writer. Reading technology-maps primitives onto
+    minimum-size library cells (wide gates become balanced trees); writing
+    emits a superset dialect this reader accepts back. *)
+
+exception Parse_error of { line : int; message : string }
+
+val of_string : ?name:string -> lib:Cells.Library.t -> string -> Circuit.t
+(** Parse and map; raises {!Parse_error} on malformed text, undefined
+    references, or combinational cycles. *)
+
+val load : ?name:string -> lib:Cells.Library.t -> path:string -> unit -> Circuit.t
+
+val to_string : Circuit.t -> string
+val save : Circuit.t -> path:string -> unit

@@ -1,0 +1,56 @@
+(* Graphviz DOT export, with optional per-node annotations — handy for
+   eyeballing WNSS paths and criticality maps:
+
+     dune exec bin/statsize.exe -- dot alu2 /tmp/alu2.dot
+     dot -Tsvg /tmp/alu2.dot -o alu2.svg *)
+
+type style = {
+  label : string option; (* extra line under the node name *)
+  highlight : bool; (* filled red: critical/WNSS membership *)
+}
+
+let default_style = { label = None; highlight = false }
+
+let escape s =
+  String.concat ""
+    (List.map
+       (fun c -> match c with '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let to_dot ?(graph_name = "circuit") ?(style = fun _ -> default_style) circuit =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "digraph \"%s\" {\n" (escape graph_name);
+  add "  rankdir=LR;\n  node [fontsize=9];\n";
+  Circuit.iter_nodes circuit ~f:(fun id ->
+      let name = Circuit.node_name circuit id in
+      let s = style id in
+      let shape, base_label =
+        match Circuit.cell circuit id with
+        | None -> ("ellipse", name)
+        | Some cell -> ("box", Printf.sprintf "%s\\n%s" name (Cells.Cell.name cell))
+      in
+      let label =
+        match s.label with
+        | None -> base_label
+        | Some extra -> Printf.sprintf "%s\\n%s" base_label (escape extra)
+      in
+      let attrs =
+        if s.highlight then ", style=filled, fillcolor=\"#f4a9a0\""
+        else if Circuit.is_output circuit id then
+          ", style=filled, fillcolor=\"#cfe3f7\""
+        else ""
+      in
+      add "  n%d [shape=%s, label=\"%s\"%s];\n" id shape (escape label) attrs);
+  Circuit.iter_nodes circuit ~f:(fun id ->
+      Array.iter
+        (fun fi -> add "  n%d -> n%d;\n" fi id)
+        (Circuit.fanins circuit id));
+  add "}\n";
+  Buffer.contents buf
+
+let save ?graph_name ?style circuit ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_dot ?graph_name ?style circuit))

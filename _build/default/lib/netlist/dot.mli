@@ -1,0 +1,16 @@
+(** Graphviz DOT export with optional per-node annotations (criticality
+    highlighting, extra labels). *)
+
+type style = { label : string option; highlight : bool }
+
+val default_style : style
+
+val to_dot :
+  ?graph_name:string -> ?style:(Circuit.id -> style) -> Circuit.t -> string
+
+val save :
+  ?graph_name:string ->
+  ?style:(Circuit.id -> style) ->
+  Circuit.t ->
+  path:string ->
+  unit

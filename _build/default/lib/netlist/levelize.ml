@@ -1,0 +1,32 @@
+(* Logic levels and depth. Level 0 = primary inputs; a gate's level is one
+   more than its deepest fanin. The paper leans on depth repeatedly: path
+   variance averages out with gate count, so shallow circuits carry the
+   largest sigma/mean ratios (Table 1's alu rows vs. c6288). *)
+
+let levels t =
+  let lv = Array.make (Circuit.size t) 0 in
+  List.iter
+    (fun id ->
+      let fis = Circuit.fanins t id in
+      if Array.length fis > 0 then
+        lv.(id) <- 1 + Array.fold_left (fun acc fi -> Stdlib.max acc lv.(fi)) 0 fis)
+    (Circuit.topological t);
+  lv
+
+let depth t =
+  let lv = levels t in
+  List.fold_left (fun acc o -> Stdlib.max acc lv.(o)) 0 (Circuit.outputs t)
+
+(* Nodes grouped by level, each group in id order. *)
+let by_level t =
+  let lv = levels t in
+  let d = Array.fold_left Stdlib.max 0 lv in
+  let buckets = Array.make (d + 1) [] in
+  List.iter (fun id -> buckets.(lv.(id)) <- id :: buckets.(lv.(id)))
+    (List.rev (Circuit.topological t));
+  Array.map (fun b -> b) buckets
+
+(* Longest path (in gate count) from any input to each output. *)
+let output_depths t =
+  let lv = levels t in
+  List.map (fun o -> (o, lv.(o))) (Circuit.outputs t)

@@ -1,0 +1,12 @@
+(** Logic levels and circuit depth (level 0 = primary inputs). *)
+
+val levels : Circuit.t -> int array
+(** Level per node id. *)
+
+val depth : Circuit.t -> int
+(** Deepest level among primary outputs. *)
+
+val by_level : Circuit.t -> Circuit.id list array
+(** Nodes grouped by level. *)
+
+val output_depths : Circuit.t -> (Circuit.id * int) list

@@ -1,0 +1,54 @@
+(* Descriptive circuit metrics for reports and the DESIGN/EXPERIMENTS docs. *)
+
+type t = {
+  name : string;
+  input_count : int;
+  output_count : int;
+  gate_count : int;
+  depth : int;
+  area : float;
+  max_fanout : int;
+  avg_fanin : float;
+  fn_histogram : (string * int) list; (* cell-function name -> count *)
+}
+
+let compute c =
+  let gate_ids = Circuit.gates c in
+  let fanin_total =
+    List.fold_left (fun acc id -> acc + Array.length (Circuit.fanins c id)) 0 gate_ids
+  in
+  let max_fanout =
+    List.fold_left
+      (fun acc id -> Stdlib.max acc (List.length (Circuit.fanouts c id)))
+      0
+      (Circuit.topological c)
+  in
+  let hist = Hashtbl.create 31 in
+  List.iter
+    (fun id ->
+      let key = Cells.Fn.name (Cells.Cell.fn (Circuit.cell_exn c id)) in
+      Hashtbl.replace hist key (1 + Option.value ~default:0 (Hashtbl.find_opt hist key)))
+    gate_ids;
+  let gate_count = List.length gate_ids in
+  {
+    name = Circuit.name c;
+    input_count = List.length (Circuit.inputs c);
+    output_count = List.length (Circuit.outputs c);
+    gate_count;
+    depth = Levelize.depth c;
+    area = Circuit.total_area c;
+    max_fanout;
+    avg_fanin =
+      (if gate_count = 0 then 0.0
+       else float_of_int fanin_total /. float_of_int gate_count);
+    fn_histogram =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) hist []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b);
+  }
+
+let pp ppf m =
+  Fmt.pf ppf
+    "@[<v>%s: %d in / %d out / %d gates, depth %d, area %.1f, max fanout %d, avg \
+     fanin %.2f@]"
+    m.name m.input_count m.output_count m.gate_count m.depth m.area m.max_fanout
+    m.avg_fanin

@@ -1,0 +1,16 @@
+(** Descriptive circuit metrics for reports. *)
+
+type t = {
+  name : string;
+  input_count : int;
+  output_count : int;
+  gate_count : int;
+  depth : int;
+  area : float;
+  max_fanout : int;
+  avg_fanin : float;
+  fn_histogram : (string * int) list;
+}
+
+val compute : Circuit.t -> t
+val pp : t Fmt.t

@@ -1,0 +1,64 @@
+(* Boolean simulation. Functional correctness of the generators (adders
+   really add, the multiplier really multiplies) is checked by evaluating
+   the mapped netlist against the arithmetic spec. *)
+
+type assignment = (string * bool) list
+
+let eval_ids t values =
+  List.iter
+    (fun id ->
+      match Circuit.cell t id with
+      | None -> () (* primary input: already set *)
+      | Some cell ->
+          let fis = Circuit.fanins t id in
+          let ins = Array.map (fun fi -> values.(fi)) fis in
+          values.(id) <- Cells.Fn.eval (Cells.Cell.fn cell) ins)
+    (Circuit.topological t)
+
+let run t ~inputs =
+  let values = Array.make (Circuit.size t) false in
+  List.iter
+    (fun (name, v) ->
+      match Circuit.find t ~name with
+      | Some id when Circuit.is_input t id -> values.(id) <- v
+      | Some _ -> invalid_arg (Printf.sprintf "Simulate.run: %S is not an input" name)
+      | None -> invalid_arg (Printf.sprintf "Simulate.run: unknown input %S" name))
+    inputs;
+  let given = List.length inputs and expected = List.length (Circuit.inputs t) in
+  if given <> expected then
+    invalid_arg
+      (Printf.sprintf "Simulate.run: %d inputs given, circuit has %d" given expected);
+  eval_ids t values;
+  List.map (fun id -> (Circuit.node_name t id, values.(id))) (Circuit.outputs t)
+
+let run_vector t ~bits =
+  let input_ids = Circuit.inputs t in
+  if Array.length bits <> List.length input_ids then
+    invalid_arg "Simulate.run_vector: bit-width mismatch";
+  let values = Array.make (Circuit.size t) false in
+  List.iteri (fun i id -> values.(id) <- bits.(i)) input_ids;
+  eval_ids t values;
+  Array.of_list (List.map (fun id -> values.(id)) (Circuit.outputs t))
+
+(* Interpret a list of named outputs as a little-endian unsigned integer,
+   selecting outputs by prefix, e.g. "sum" -> sum0, sum1, ... *)
+let read_unsigned outputs ~prefix =
+  let bits =
+    List.filter_map
+      (fun (name, v) ->
+        if String.length name > String.length prefix
+           && String.sub name 0 (String.length prefix) = prefix
+        then
+          match
+            int_of_string_opt
+              (String.sub name (String.length prefix)
+                 (String.length name - String.length prefix))
+          with
+          | Some idx -> Some (idx, v)
+          | None -> None
+        else None)
+      outputs
+  in
+  List.fold_left
+    (fun acc (idx, v) -> if v then acc lor (1 lsl idx) else acc)
+    0 bits

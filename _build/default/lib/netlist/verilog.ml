@@ -1,0 +1,57 @@
+(* Structural gate-level Verilog writer. Cell instances reference the
+   library cells by name with positional-free named ports (.A/.B/.C for
+   inputs in fanin order, .Y for the output), which is how mapped netlists
+   hand off to downstream P&R tools. Identifiers that are not valid Verilog
+   names are escaped with the standard backslash form. *)
+
+let needs_escape name =
+  let ok_first c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' in
+  let ok c = ok_first c || (c >= '0' && c <= '9') || c = '$' in
+  String.length name = 0
+  || (not (ok_first name.[0]))
+  || not (String.for_all ok name)
+
+let ident name = if needs_escape name then "\\" ^ name ^ " " else name
+
+let port_name k =
+  (* A, B, C, D ... for fanins in order *)
+  String.make 1 (Char.chr (Char.code 'A' + k))
+
+let to_verilog ?(module_name = "top") circuit =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let inputs = Circuit.inputs circuit in
+  let outputs = Circuit.outputs circuit in
+  let n name = ident (Circuit.node_name circuit name) in
+  add "module %s (%s);\n" (ident module_name)
+    (String.concat ", " (List.map n inputs @ List.map n outputs));
+  List.iter (fun i -> add "  input %s;\n" (n i)) inputs;
+  List.iter (fun o -> add "  output %s;\n" (n o)) outputs;
+  (* internal wires: gate outputs that are not primary outputs *)
+  List.iter
+    (fun id -> if not (Circuit.is_output circuit id) then add "  wire %s;\n" (n id))
+    (Circuit.gates circuit);
+  List.iter
+    (fun id ->
+      match Circuit.cell circuit id with
+      | None -> ()
+      | Some cell ->
+          let fanins = Circuit.fanins circuit id in
+          let ports =
+            Array.to_list
+              (Array.mapi (fun k fi -> Printf.sprintf ".%s(%s)" (port_name k) (n fi))
+                 fanins)
+            @ [ Printf.sprintf ".Y(%s)" (n id) ]
+          in
+          add "  %s %s (%s);\n" (Cells.Cell.name cell)
+            (ident ("u_" ^ Circuit.node_name circuit id))
+            (String.concat ", " ports))
+    (Circuit.topological circuit);
+  add "endmodule\n";
+  Buffer.contents buf
+
+let save ?module_name circuit ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_verilog ?module_name circuit))

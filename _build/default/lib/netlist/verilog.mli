@@ -1,0 +1,5 @@
+(** Structural gate-level Verilog writer (named ports .A/.B/…/.Y; escaped
+    identifiers where needed). *)
+
+val to_verilog : ?module_name:string -> Circuit.t -> string
+val save : ?module_name:string -> Circuit.t -> path:string -> unit

@@ -1,0 +1,1 @@
+lib/numerics/clark.ml: Erf Float Fmt List Normal

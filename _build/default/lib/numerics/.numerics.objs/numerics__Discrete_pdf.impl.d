@@ -1,0 +1,1 @@
+lib/numerics/discrete_pdf.ml: Array Clark Float Fmt List Normal Stdlib

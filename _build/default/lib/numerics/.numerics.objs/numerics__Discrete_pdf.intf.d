@@ -1,0 +1,1 @@
+lib/numerics/discrete_pdf.mli: Clark Fmt

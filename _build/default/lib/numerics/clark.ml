@@ -1,0 +1,86 @@
+(* Moments of max(A, B) for (jointly) normal A, B — C. E. Clark, "The greatest
+   of a finite set of random variables", Operations Research 9 (1961); the
+   paper's equations (1)-(3).
+
+   With a² = Var A + Var B − 2ρ·σA·σB and α = (μA − μB) / a:
+
+     E[max]   = μA·Φ(α) + μB·Φ(−α) + a·φ(α)
+     E[max²]  = (μA²+σA²)·Φ(α) + (μB²+σB²)·Φ(−α) + (μA+μB)·a·φ(α)
+     Var[max] = E[max²] − E[max]²
+
+   The fast variant applies the paper's cutoff (equations (5)/(6)): when
+   |α| ≥ 2.6 the saturated quadratic erf makes Φ(α) ∈ {0, 1} and φ(α) ≈ 0,
+   so the max collapses to the dominant operand with no arithmetic. *)
+
+type moments = { mean : float; var : float }
+
+let moments ~mean ~var =
+  if var < 0.0 then invalid_arg "Clark.moments: negative variance";
+  { mean; var }
+
+let sigma m = Float.sqrt m.var
+
+let pp_moments ppf m = Fmt.pf ppf "N(%g, %g²)" m.mean (sigma m)
+
+let sum a b = { mean = a.mean +. b.mean; var = a.var +. b.var }
+
+let shift a d = { a with mean = a.mean +. d }
+
+(* How the fast max was resolved; the experiment in §4.3 reports how often
+   each branch fires. *)
+type resolution = Left_dominates | Right_dominates | Blended
+
+let spread ?(rho = 0.0) a b =
+  let v = a.var +. b.var -. (2.0 *. rho *. sigma a *. sigma b) in
+  Float.sqrt (Float.max v 0.0)
+
+let max_exact ?(rho = 0.0) a b =
+  let sp = spread ~rho a b in
+  if sp <= 0.0 then
+    (* Identical (or perfectly correlated equal-sigma) operands: the max is
+       whichever has the larger mean. *)
+    if a.mean >= b.mean then a else b
+  else
+    let alpha = (a.mean -. b.mean) /. sp in
+    let phi = Normal.pdf alpha in
+    let cdf_pos = Normal.cdf alpha in
+    let cdf_neg = 1.0 -. cdf_pos in
+    let m1 = (a.mean *. cdf_pos) +. (b.mean *. cdf_neg) +. (sp *. phi) in
+    let m2 =
+      (((a.mean *. a.mean) +. a.var) *. cdf_pos)
+      +. (((b.mean *. b.mean) +. b.var) *. cdf_neg)
+      +. ((a.mean +. b.mean) *. sp *. phi)
+    in
+    { mean = m1; var = Float.max (m2 -. (m1 *. m1)) 0.0 }
+
+let cutoff = Erf.phi_saturation_point
+
+let max_fast_resolved a b =
+  let sp = spread a b in
+  if sp <= 0.0 then
+    if a.mean >= b.mean then (a, Left_dominates) else (b, Right_dominates)
+  else
+    let alpha = (a.mean -. b.mean) /. sp in
+    if alpha >= cutoff then (a, Left_dominates)
+    else if alpha <= -.cutoff then (b, Right_dominates)
+    else
+      let phi = Normal.pdf alpha in
+      let cdf_pos = Normal.cdf_fast alpha in
+      let cdf_neg = 1.0 -. cdf_pos in
+      let m1 = (a.mean *. cdf_pos) +. (b.mean *. cdf_neg) +. (sp *. phi) in
+      let m2 =
+        (((a.mean *. a.mean) +. a.var) *. cdf_pos)
+        +. (((b.mean *. b.mean) +. b.var) *. cdf_neg)
+        +. ((a.mean +. b.mean) *. sp *. phi)
+      in
+      ({ mean = m1; var = Float.max (m2 -. (m1 *. m1)) 0.0 }, Blended)
+
+let max_fast a b = fst (max_fast_resolved a b)
+
+let max_exact_list = function
+  | [] -> invalid_arg "Clark.max_exact_list: empty"
+  | m :: rest -> List.fold_left (fun acc x -> max_exact acc x) m rest
+
+let max_fast_list = function
+  | [] -> invalid_arg "Clark.max_fast_list: empty"
+  | m :: rest -> List.fold_left (fun acc x -> max_fast acc x) m rest

@@ -1,0 +1,221 @@
+(* Discrete probability distributions: the FULLSSTA representation.
+
+   Following Liou et al. (DAC'01), a pdf is a finite list of (value, mass)
+   points. The SSTA engine keeps 10-15 points per pdf; [sum] and [max] expand
+   the support (cross sums, support union) and the engine re-samples back to
+   its budget afterwards.
+
+   Invariants: support strictly increasing, masses non-negative, masses sum
+   to 1 (up to float round-off; constructors renormalize). *)
+
+type t = { xs : float array; ps : float array }
+
+let epsilon_mass = 1e-12
+
+let check_invariants t =
+  let n = Array.length t.xs in
+  n > 0
+  && Array.length t.ps = n
+  && (let rec incr i = i >= n - 1 || (t.xs.(i) < t.xs.(i + 1) && incr (i + 1)) in
+      incr 0)
+  && Array.for_all (fun p -> p >= -.epsilon_mass) t.ps
+  &&
+  let total = Array.fold_left ( +. ) 0.0 t.ps in
+  Float.abs (total -. 1.0) < 1e-6
+
+(* Collapse duplicate support points, drop negligible masses, renormalize. *)
+let normalize points =
+  let points = List.filter (fun (_, p) -> p > epsilon_mass) points in
+  let points = List.sort (fun (x, _) (y, _) -> Float.compare x y) points in
+  let merged =
+    List.fold_left
+      (fun acc (x, p) ->
+        match acc with
+        | (x0, p0) :: rest when Float.abs (x -. x0) <= 1e-12 *. (1.0 +. Float.abs x0)
+          ->
+            (x0, p0 +. p) :: rest
+        | _ -> (x, p) :: acc)
+      [] points
+  in
+  let merged = List.rev merged in
+  let total = List.fold_left (fun acc (_, p) -> acc +. p) 0.0 merged in
+  if total <= 0.0 then invalid_arg "Discrete_pdf: no probability mass";
+  let n = List.length merged in
+  let xs = Array.make n 0.0 and ps = Array.make n 0.0 in
+  List.iteri
+    (fun i (x, p) ->
+      xs.(i) <- x;
+      ps.(i) <- p /. total)
+    merged;
+  { xs; ps }
+
+let of_points points = normalize points
+
+let constant x = { xs = [| x |]; ps = [| 1.0 |] }
+
+let support_size t = Array.length t.xs
+let min_value t = t.xs.(0)
+let max_value t = t.xs.(Array.length t.xs - 1)
+
+let points t = Array.to_list (Array.map2 (fun x p -> (x, p)) t.xs t.ps)
+
+let mean t =
+  let acc = ref 0.0 in
+  Array.iteri (fun i x -> acc := !acc +. (x *. t.ps.(i))) t.xs;
+  !acc
+
+let variance t =
+  let m = mean t in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i x ->
+      let d = x -. m in
+      acc := !acc +. (d *. d *. t.ps.(i)))
+    t.xs;
+  Float.max !acc 0.0
+
+let std t = Float.sqrt (variance t)
+
+let to_moments t = Clark.moments ~mean:(mean t) ~var:(variance t)
+
+(* Discretize N(mean, sigma²) over mean ± span·sigma with CDF-difference bin
+   masses: each support point carries the mass of its surrounding bin, so the
+   discretized pdf's CDF interleaves the true CDF. *)
+let of_normal ?(span = 4.0) ~samples ~mean ~sigma () =
+  if samples < 1 then invalid_arg "Discrete_pdf.of_normal: samples < 1";
+  if sigma <= 0.0 then constant mean
+  else
+    let lo = mean -. (span *. sigma) and hi = mean +. (span *. sigma) in
+    let step = (hi -. lo) /. float_of_int samples in
+    let bins =
+      List.init samples (fun i ->
+          let left = lo +. (float_of_int i *. step) in
+          let right = left +. step in
+          let mass =
+            Normal.cdf_at ~mean ~sigma right -. Normal.cdf_at ~mean ~sigma left
+          in
+          (0.5 *. (left +. right), mass))
+    in
+    normalize bins
+
+let shift t d = { t with xs = Array.map (fun x -> x +. d) t.xs }
+
+let scale t k =
+  if k = 0.0 then constant 0.0
+  else if k > 0.0 then { t with xs = Array.map (fun x -> x *. k) t.xs }
+  else
+    normalize (Array.to_list (Array.map2 (fun x p -> (x *. k, p)) t.xs t.ps))
+
+(* Piecewise-constant CDF: probability mass at or below x. *)
+let cdf t x =
+  let acc = ref 0.0 in
+  (try
+     Array.iteri
+       (fun i xi ->
+         if xi <= x then acc := !acc +. t.ps.(i) else raise Exit)
+       t.xs
+   with Exit -> ());
+  Float.min !acc 1.0
+
+let quantile t p =
+  if not (p >= 0.0 && p <= 1.0) then invalid_arg "Discrete_pdf.quantile";
+  let n = Array.length t.xs in
+  let rec walk i acc =
+    if i >= n - 1 then t.xs.(n - 1)
+    else
+      let acc = acc +. t.ps.(i) in
+      if acc >= p then t.xs.(i) else walk (i + 1) acc
+  in
+  walk 0 0.0
+
+(* Re-bin onto a uniform grid of [samples] bins spanning the support. Each
+   bin's mass is split across two points at its centroid ± its within-bin
+   standard deviation, so both the mean and the variance are preserved
+   exactly — naive centroid binning leaks variance at every propagation
+   step, which compounds badly along deep paths. Resulting support is at
+   most 2·samples points. *)
+let resample t ~samples =
+  if samples < 1 then invalid_arg "Discrete_pdf.resample: samples < 1";
+  let n = Array.length t.xs in
+  if n <= 2 * samples then t
+  else
+    let lo = min_value t and hi = max_value t in
+    if hi <= lo then constant lo
+    else
+      let width = (hi -. lo) /. float_of_int samples in
+      let mass = Array.make samples 0.0 in
+      let m1 = Array.make samples 0.0 in
+      let m2 = Array.make samples 0.0 in
+      Array.iteri
+        (fun i x ->
+          let b =
+            Stdlib.min (samples - 1) (int_of_float ((x -. lo) /. width))
+          in
+          mass.(b) <- mass.(b) +. t.ps.(i);
+          m1.(b) <- m1.(b) +. (t.ps.(i) *. x);
+          m2.(b) <- m2.(b) +. (t.ps.(i) *. x *. x))
+        t.xs;
+      let bins = ref [] in
+      for b = samples - 1 downto 0 do
+        if mass.(b) > epsilon_mass then begin
+          let mu = m1.(b) /. mass.(b) in
+          let var = Float.max ((m2.(b) /. mass.(b)) -. (mu *. mu)) 0.0 in
+          let sd = Float.sqrt var in
+          if sd > 1e-9 *. (1.0 +. Float.abs mu) then
+            bins :=
+              (mu -. sd, 0.5 *. mass.(b))
+              :: (mu +. sd, 0.5 *. mass.(b))
+              :: !bins
+          else bins := (mu, mass.(b)) :: !bins
+        end
+      done;
+      normalize !bins
+
+(* Sum of independent discrete random variables: cross sums of supports with
+   product masses. Callers resample afterwards to bound growth. *)
+let sum a b =
+  let acc = ref [] in
+  Array.iteri
+    (fun i xa ->
+      Array.iteri
+        (fun j xb -> acc := (xa +. xb, a.ps.(i) *. b.ps.(j)) :: !acc)
+        b.xs)
+    a.xs;
+  normalize !acc
+
+(* Max of independent discrete random variables via the CDF product
+   F_max(x) = F_A(x) · F_B(x) evaluated on the union of supports. *)
+let max2 a b =
+  let support =
+    List.sort_uniq Float.compare (Array.to_list a.xs @ Array.to_list b.xs)
+  in
+  let masses =
+    let prev = ref 0.0 in
+    List.filter_map
+      (fun x ->
+        let f = cdf a x *. cdf b x in
+        let m = f -. !prev in
+        prev := f;
+        if m > epsilon_mass then Some (x, m) else None)
+      support
+  in
+  normalize masses
+
+let max_list = function
+  | [] -> invalid_arg "Discrete_pdf.max_list: empty"
+  | t :: rest -> List.fold_left max2 t rest
+
+(* Empirical distribution of raw samples binned to [samples] points; the
+   Monte-Carlo engine uses this to build comparable pdfs. *)
+let of_samples ~samples values =
+  match values with
+  | [] -> invalid_arg "Discrete_pdf.of_samples: empty"
+  | _ ->
+      let n = List.length values in
+      let w = 1.0 /. float_of_int n in
+      let raw = normalize (List.map (fun v -> (v, w)) values) in
+      resample raw ~samples
+
+let pp ppf t =
+  Fmt.pf ppf "@[<hov 2>pdf[%d pts, μ=%.4g, σ=%.4g]@]" (support_size t) (mean t)
+    (std t)

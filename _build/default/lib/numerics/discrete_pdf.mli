@@ -1,0 +1,57 @@
+(** Discrete probability distributions — the FULLSSTA pdf representation
+    (Liou et al., DAC'01): finitely many (value, mass) points with [sum] by
+    cross sums, [max] by CDF products, and re-sampling to a point budget. *)
+
+type t
+
+val of_points : (float * float) list -> t
+(** Build from (value, mass) pairs; sorts, merges duplicates, renormalizes.
+    Raises [Invalid_argument] when total mass is zero. *)
+
+val constant : float -> t
+(** Point mass. *)
+
+val of_normal :
+  ?span:float -> samples:int -> mean:float -> sigma:float -> unit -> t
+(** Discretize a normal over mean ± span·sigma (default span 4.0) into
+    [samples] equal-width bins with CDF-difference masses. *)
+
+val of_samples : samples:int -> float list -> t
+(** Empirical distribution of raw draws, re-binned to [samples] points. *)
+
+val points : t -> (float * float) list
+val support_size : t -> int
+val min_value : t -> float
+val max_value : t -> float
+
+val mean : t -> float
+val variance : t -> float
+val std : t -> float
+val to_moments : t -> Clark.moments
+
+val cdf : t -> float -> float
+(** Mass at or below the argument (right-continuous step CDF). *)
+
+val quantile : t -> float -> float
+(** Smallest support point whose cumulative mass reaches the argument. *)
+
+val shift : t -> float -> t
+val scale : t -> float -> t
+
+val sum : t -> t -> t
+(** Distribution of the sum of independent variables (support grows to the
+    product of sizes; follow with {!resample}). *)
+
+val max2 : t -> t -> t
+(** Distribution of the max of independent variables. *)
+
+val max_list : t list -> t
+(** Left fold of {!max2}; raises on the empty list. *)
+
+val resample : t -> samples:int -> t
+(** Re-bin to at most [samples] points, preserving the mean exactly. *)
+
+val check_invariants : t -> bool
+(** Structural invariants (sorted support, masses ≥ 0 summing to 1). *)
+
+val pp : t Fmt.t

@@ -1,0 +1,95 @@
+(* Symmetric eigendecomposition by the cyclic Jacobi method — small dense
+   matrices only (the PCA grids of the correlated-SSTA extension are at most
+   a few dozen cells, where Jacobi is simple, robust and exact enough). *)
+
+type t = {
+  values : float array; (* eigenvalues, descending *)
+  vectors : float array array; (* vectors.(k) is the k-th eigenvector *)
+}
+
+let check_symmetric a =
+  let n = Array.length a in
+  Array.iter
+    (fun row ->
+      if Array.length row <> n then invalid_arg "Eigen: matrix is not square")
+    a;
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Float.abs (a.(i).(j) -. a.(j).(i)) > 1e-9 *. (1.0 +. Float.abs a.(i).(j))
+      then invalid_arg "Eigen: matrix is not symmetric"
+    done
+  done
+
+let off_diagonal_norm a =
+  let n = Array.length a in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then acc := !acc +. (a.(i).(j) *. a.(i).(j))
+    done
+  done;
+  Float.sqrt !acc
+
+(* One Jacobi rotation zeroing a.(p).(q). *)
+let rotate a v p q =
+  let apq = a.(p).(q) in
+  if Float.abs apq > 1e-15 then begin
+    let app = a.(p).(p) and aqq = a.(q).(q) in
+    let theta = (aqq -. app) /. (2.0 *. apq) in
+    let t =
+      let sign = if theta >= 0.0 then 1.0 else -1.0 in
+      sign /. (Float.abs theta +. Float.sqrt ((theta *. theta) +. 1.0))
+    in
+    let c = 1.0 /. Float.sqrt ((t *. t) +. 1.0) in
+    let s = t *. c in
+    let n = Array.length a in
+    for k = 0 to n - 1 do
+      let akp = a.(k).(p) and akq = a.(k).(q) in
+      a.(k).(p) <- (c *. akp) -. (s *. akq);
+      a.(k).(q) <- (s *. akp) +. (c *. akq)
+    done;
+    for k = 0 to n - 1 do
+      let apk = a.(p).(k) and aqk = a.(q).(k) in
+      a.(p).(k) <- (c *. apk) -. (s *. aqk);
+      a.(q).(k) <- (s *. apk) +. (c *. aqk)
+    done;
+    for k = 0 to n - 1 do
+      let vkp = v.(k).(p) and vkq = v.(k).(q) in
+      v.(k).(p) <- (c *. vkp) -. (s *. vkq);
+      v.(k).(q) <- (s *. vkp) +. (c *. vkq)
+    done
+  end
+
+let decompose ?(max_sweeps = 100) ?(tolerance = 1e-12) matrix =
+  check_symmetric matrix;
+  let n = Array.length matrix in
+  let a = Array.map Array.copy matrix in
+  let v = Array.init n (fun i -> Array.init n (fun j -> if i = j then 1.0 else 0.0)) in
+  let sweeps = ref 0 in
+  while off_diagonal_norm a > tolerance && !sweeps < max_sweeps do
+    incr sweeps;
+    for p = 0 to n - 2 do
+      for q = p + 1 to n - 1 do
+        rotate a v p q
+      done
+    done
+  done;
+  let order = Array.init n Fun.id in
+  Array.sort (fun i j -> Float.compare a.(j).(j) a.(i).(i)) order;
+  {
+    values = Array.map (fun i -> a.(i).(i)) order;
+    vectors = Array.map (fun i -> Array.init n (fun k -> v.(k).(i))) order;
+  }
+
+(* Principal square root: columns scaled by sqrt(eigenvalue). Negative
+   eigenvalues from numerical noise are clamped at zero. Returns the matrix
+   L (components x dims) such that Lᵀ·L ≈ the input covariance; row k is the
+   loading of principal component k on each dimension. *)
+let principal_components ?(keep = max_int) covariance =
+  let e = decompose covariance in
+  let n = Array.length e.values in
+  let keep = Stdlib.min keep n in
+  Array.init keep (fun k ->
+      let lambda = Float.max e.values.(k) 0.0 in
+      let s = Float.sqrt lambda in
+      Array.map (fun x -> s *. x) e.vectors.(k))

@@ -1,0 +1,70 @@
+(* Two-dimensional lookup tables with bilinear interpolation — the NLDM-style
+   delay/slew model of the cell library ("industrial 90nm lookup-table based
+   standard cell library" in the paper's setup).
+
+   Axes must be strictly increasing. Queries outside the grid clamp to the
+   edge, matching how timing tools extrapolate conservative corners. *)
+
+type t = {
+  rows : float array; (* first index, e.g. input slew *)
+  cols : float array; (* second index, e.g. load capacitance *)
+  values : float array array; (* values.(i).(j) at (rows.(i), cols.(j)) *)
+}
+
+let strictly_increasing a =
+  let n = Array.length a in
+  let rec go i = i >= n - 1 || (a.(i) < a.(i + 1) && go (i + 1)) in
+  go 0
+
+let create ~rows ~cols ~values =
+  let nr = Array.length rows and nc = Array.length cols in
+  if nr = 0 || nc = 0 then invalid_arg "Lut.create: empty axis";
+  if not (strictly_increasing rows && strictly_increasing cols) then
+    invalid_arg "Lut.create: axes must be strictly increasing";
+  if Array.length values <> nr || Array.exists (fun r -> Array.length r <> nc) values
+  then invalid_arg "Lut.create: values shape mismatch";
+  { rows; cols; values }
+
+let of_function ~rows ~cols f =
+  let values = Array.map (fun r -> Array.map (fun c -> f r c) cols) rows in
+  create ~rows ~cols ~values
+
+(* Index of the cell containing x, clamped so that i and i+1 are valid; also
+   returns the interpolation fraction in [0, 1]. *)
+let locate axis x =
+  let n = Array.length axis in
+  if n = 1 || x <= axis.(0) then (0, 0.0)
+  else if x >= axis.(n - 1) then (Stdlib.max 0 (n - 2), 1.0)
+  else
+    let rec bisect lo hi =
+      (* invariant: axis.(lo) <= x < axis.(hi) *)
+      if hi - lo <= 1 then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if x < axis.(mid) then bisect lo mid else bisect mid hi
+    in
+    let i = bisect 0 (n - 1) in
+    let frac = (x -. axis.(i)) /. (axis.(i + 1) -. axis.(i)) in
+    (i, frac)
+
+let query t ~row ~col =
+  let i, fr = locate t.rows row in
+  let j, fc = locate t.cols col in
+  let v00 = t.values.(i).(j) in
+  if Array.length t.rows = 1 && Array.length t.cols = 1 then v00
+  else
+    let i1 = Stdlib.min (Array.length t.rows - 1) (i + 1) in
+    let j1 = Stdlib.min (Array.length t.cols - 1) (j + 1) in
+    let v01 = t.values.(i).(j1)
+    and v10 = t.values.(i1).(j)
+    and v11 = t.values.(i1).(j1) in
+    ((1.0 -. fr) *. (((1.0 -. fc) *. v00) +. (fc *. v01)))
+    +. (fr *. (((1.0 -. fc) *. v10) +. (fc *. v11)))
+
+let rows t = Array.copy t.rows
+let cols t = Array.copy t.cols
+
+let map t ~f = { t with values = Array.map (Array.map f) t.values }
+
+let pp ppf t =
+  Fmt.pf ppf "lut[%dx%d]" (Array.length t.rows) (Array.length t.cols)

@@ -1,0 +1,21 @@
+(** 2-D lookup tables with bilinear interpolation and edge clamping — the
+    NLDM-style timing model of the standard-cell library. *)
+
+type t
+
+val create : rows:float array -> cols:float array -> values:float array array -> t
+(** Axes must be strictly increasing; [values.(i).(j)] sits at
+    ([rows.(i)], [cols.(j)]). Raises [Invalid_argument] on shape errors. *)
+
+val of_function : rows:float array -> cols:float array -> (float -> float -> float) -> t
+(** Tabulate a function on the given grid. *)
+
+val query : t -> row:float -> col:float -> float
+(** Bilinear interpolation; queries outside the grid clamp to the edge. *)
+
+val rows : t -> float array
+val cols : t -> float array
+
+val map : t -> f:(float -> float) -> t
+
+val pp : t Fmt.t

@@ -1,0 +1,60 @@
+(* Standard-normal helpers shared by the SSTA engines. *)
+
+let sqrt_two = Float.sqrt 2.0
+let sqrt_two_pi = Float.sqrt (2.0 *. Float.pi)
+
+let pdf x = Float.exp (-0.5 *. x *. x) /. sqrt_two_pi
+
+let cdf x = 0.5 *. (1.0 +. Erf.exact (x /. sqrt_two))
+
+let cdf_fast = Erf.phi_quadratic
+
+(* Peter Acklam's rational approximation for the probit function,
+   |relative error| < 1.15e-9 over (0, 1). *)
+let quantile p =
+  if not (p > 0.0 && p < 1.0) then
+    invalid_arg (Printf.sprintf "Normal.quantile: p = %g outside (0, 1)" p);
+  let a =
+    [| -3.969683028665376e+01; 2.209460984245205e+02; -2.759285104469687e+02;
+       1.383577518672690e+02; -3.066479806614716e+01; 2.506628277459239e+00 |]
+  and b =
+    [| -5.447609879822406e+01; 1.615858368580409e+02; -1.556989798598866e+02;
+       6.680131188771972e+01; -1.328068155288572e+01 |]
+  and c =
+    [| -7.784894002430293e-03; -3.223964580411365e-01; -2.400758277161838e+00;
+       -2.549732539343734e+00; 4.374664141464968e+00; 2.938163982698783e+00 |]
+  and d =
+    [| 7.784695709041462e-03; 3.224671290700398e-01; 2.445134137142996e+00;
+       3.754408661907416e+00 |]
+  in
+  let p_low = 0.02425 in
+  let p_high = 1.0 -. p_low in
+  let tail q sign =
+    let q = Float.sqrt (-2.0 *. Float.log q) in
+    let num =
+      ((((((c.(0) *. q) +. c.(1)) *. q) +. c.(2)) *. q +. c.(3)) *. q +. c.(4)) *. q
+      +. c.(5)
+    and den = ((((d.(0) *. q) +. d.(1)) *. q +. d.(2)) *. q +. d.(3)) *. q +. 1.0 in
+    sign *. num /. den
+  in
+  if p < p_low then tail p 1.0
+  else if p > p_high then tail (1.0 -. p) (-1.0)
+  else
+    let q = p -. 0.5 in
+    let r = q *. q in
+    let num =
+      ((((((a.(0) *. r) +. a.(1)) *. r +. a.(2)) *. r +. a.(3)) *. r +. a.(4)) *. r
+      +. a.(5))
+      *. q
+    and den =
+      ((((b.(0) *. r +. b.(1)) *. r +. b.(2)) *. r +. b.(3)) *. r +. b.(4)) *. r +. 1.0
+    in
+    num /. den
+
+(* Probability that N(mean, sigma^2) <= x. A degenerate sigma collapses to a
+   step function, which is what a zero-variation delay arc behaves like. *)
+let cdf_at ~mean ~sigma x =
+  if sigma <= 0.0 then if x >= mean then 1.0 else 0.0
+  else cdf ((x -. mean) /. sigma)
+
+let quantile_at ~mean ~sigma p = mean +. (sigma *. quantile p)

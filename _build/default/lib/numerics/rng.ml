@@ -1,0 +1,57 @@
+(* Deterministic splittable PRNG (splitmix64) so every experiment, test and
+   Monte-Carlo run is reproducible from a single seed, independent of the
+   global [Random] state. *)
+
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int seed }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t =
+  (* Derive an independent stream: one draw seeds the child. *)
+  { state = next_int64 t }
+
+(* Uniform in [0, 1): use the top 53 bits. *)
+let float t =
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let float_range t ~lo ~hi =
+  if hi < lo then invalid_arg "Rng.float_range: hi < lo";
+  lo +. ((hi -. lo) *. float t)
+
+let int t ~bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound <= 0";
+  (* Keep 62 bits: Int64.to_int truncates into OCaml's 63-bit int, where a
+     set bit 62 would turn the value negative. *)
+  let u = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  u mod bound
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(* Box-Muller; one value per call keeps the stream position predictable. *)
+let gaussian t =
+  let rec nonzero () =
+    let u = float t in
+    if u > 0.0 then u else nonzero ()
+  in
+  let u1 = nonzero () and u2 = float t in
+  Float.sqrt (-2.0 *. Float.log u1) *. Float.cos (2.0 *. Float.pi *. u2)
+
+let gaussian_scaled t ~mean ~sigma = mean +. (sigma *. gaussian t)
+
+let shuffle_in_place t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t ~bound:(i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

@@ -1,0 +1,26 @@
+(** Deterministic splittable PRNG (splitmix64) for reproducible experiments
+    and Monte-Carlo runs. *)
+
+type t
+
+val create : seed:int -> t
+
+val split : t -> t
+(** Derive an independent child stream (advances the parent once). *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val float_range : t -> lo:float -> hi:float -> float
+
+val int : t -> bound:int -> int
+(** Uniform in [0, bound); raises on non-positive bound. *)
+
+val bool : t -> bool
+
+val gaussian : t -> float
+(** Standard normal draw (Box–Muller). *)
+
+val gaussian_scaled : t -> mean:float -> sigma:float -> float
+
+val shuffle_in_place : t -> 'a array -> unit

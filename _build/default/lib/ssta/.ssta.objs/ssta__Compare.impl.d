@@ -1,0 +1,1 @@
+lib/ssta/compare.ml: Array Fassta Float Fmt Fullssta List Monte_carlo Netlist Numerics

@@ -1,0 +1,1 @@
+lib/ssta/compare.mli: Fmt Fullssta Monte_carlo Netlist Numerics

@@ -1,0 +1,1 @@
+lib/ssta/fassta.ml: Array Cells Float Hashtbl List Netlist Numerics Option Sta Variation

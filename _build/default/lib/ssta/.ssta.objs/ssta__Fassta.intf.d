@@ -1,0 +1,1 @@
+lib/ssta/fassta.mli: Hashtbl Netlist Numerics Sta Variation

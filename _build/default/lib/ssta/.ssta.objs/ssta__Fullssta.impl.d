@@ -1,0 +1,1 @@
+lib/ssta/fullssta.ml: Array Cells Float List Netlist Numerics Sta Variation

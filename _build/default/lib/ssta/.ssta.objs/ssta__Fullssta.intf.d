@@ -1,0 +1,1 @@
+lib/ssta/fullssta.mli: Netlist Numerics Sta Variation

@@ -1,0 +1,1 @@
+lib/ssta/monte_carlo.ml: Array Cells Float List Netlist Numerics Sta Variation

@@ -1,0 +1,1 @@
+lib/ssta/monte_carlo.mli: Netlist Numerics Sta Variation

@@ -1,0 +1,1 @@
+lib/ssta/pca.mli: Netlist Numerics Sta Variation

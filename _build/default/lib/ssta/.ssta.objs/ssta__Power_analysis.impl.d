@@ -1,0 +1,1 @@
+lib/ssta/power_analysis.ml: Array Cells Float Fmt List Netlist Numerics Variation

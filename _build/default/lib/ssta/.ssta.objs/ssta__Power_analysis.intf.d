@@ -1,0 +1,1 @@
+lib/ssta/power_analysis.mli: Cells Fmt Netlist Numerics Variation

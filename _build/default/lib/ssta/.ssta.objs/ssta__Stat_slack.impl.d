@@ -1,0 +1,1 @@
+lib/ssta/stat_slack.ml: Array Fassta Fullssta List Netlist Numerics Sta

@@ -1,0 +1,1 @@
+lib/ssta/stat_slack.mli: Fullssta Netlist Numerics Sta Variation

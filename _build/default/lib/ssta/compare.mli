@@ -1,0 +1,27 @@
+(** Cross-engine accuracy metrics (FASSTA / FULLSSTA vs Monte Carlo). *)
+
+type engine_summary = { mean : float; sigma : float }
+
+val of_moments : Numerics.Clark.moments -> engine_summary
+val of_stats : Numerics.Stats.t -> engine_summary
+
+type deviation = { mean_rel_err : float; sigma_rel_err : float }
+
+val deviation : reference:engine_summary -> candidate:engine_summary -> deviation
+
+type report = {
+  per_output : (string * deviation) list;
+  worst_mean_rel_err : float;
+  worst_sigma_rel_err : float;
+}
+
+val summarize : (string * deviation) list -> report
+
+val engines_vs_monte_carlo :
+  ?mc_config:Monte_carlo.config ->
+  ?full_config:Fullssta.config ->
+  Netlist.Circuit.t ->
+  [ `Full of report ] * [ `Fast of report ]
+
+val pp_deviation : deviation Fmt.t
+val pp_report : report Fmt.t

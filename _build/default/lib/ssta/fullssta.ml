@@ -1,0 +1,91 @@
+(* FULLSSTA — the paper's accurate outer-loop engine (§4.2), after Liou et
+   al.'s probabilistic event propagation: arrival times are discrete pdfs
+   sampled at a user-controlled rate (10-15 points; we default to 12), SUM
+   and MAX operate on the discretized pdfs, and the mean/variance at every
+   node is stored for the fast inner engine (FASSTA) to consume. *)
+
+type config = {
+  samples : int;
+  model : Variation.Model.t;
+  electrical : Sta.Electrical.config;
+}
+
+let default_config =
+  {
+    samples = 12;
+    model = Variation.Model.default;
+    electrical = Sta.Electrical.default_config;
+  }
+
+type t = {
+  circuit : Netlist.Circuit.t;
+  config : config;
+  electrical : Sta.Electrical.t;
+  pdfs : Numerics.Discrete_pdf.t array; (* arrival pdf per node *)
+  moments : Numerics.Clark.moments array; (* point values stored per node *)
+}
+
+(* Normal pdf of one fanin arc's delay under the variation model. *)
+let arc_pdf config circuit electrical id k =
+  let delay = (Sta.Electrical.arc_delays electrical id).(k) in
+  let strength =
+    Cells.Cell.strength (Netlist.Circuit.cell_exn circuit id)
+  in
+  let sigma = Variation.Model.sigma config.model ~delay ~strength in
+  Numerics.Discrete_pdf.of_normal ~samples:config.samples ~mean:delay ~sigma ()
+
+let run ?(config = default_config) circuit =
+  if config.samples < 2 then invalid_arg "Fullssta.run: samples < 2";
+  let electrical = Sta.Electrical.compute ~config:config.electrical circuit in
+  let n = Netlist.Circuit.size circuit in
+  let pdfs =
+    Array.make n
+      (Numerics.Discrete_pdf.constant config.electrical.Sta.Electrical.input_arrival)
+  in
+  List.iter
+    (fun id ->
+      let fanins = Netlist.Circuit.fanins circuit id in
+      if Array.length fanins > 0 then begin
+        let arrivals_per_arc =
+          Array.to_list
+            (Array.mapi
+               (fun k fi ->
+                 let arc = arc_pdf config circuit electrical id k in
+                 Numerics.Discrete_pdf.resample
+                   (Numerics.Discrete_pdf.sum pdfs.(fi) arc)
+                   ~samples:config.samples)
+               fanins)
+        in
+        pdfs.(id) <-
+          Numerics.Discrete_pdf.resample
+            (Numerics.Discrete_pdf.max_list arrivals_per_arc)
+            ~samples:config.samples
+      end)
+    (Netlist.Circuit.topological circuit);
+  let moments = Array.map Numerics.Discrete_pdf.to_moments pdfs in
+  { circuit; config; electrical; pdfs; moments }
+
+let pdf t id = t.pdfs.(id)
+let moments t id = t.moments.(id)
+let electrical t = t.electrical
+
+(* The circuit-level random variable RV_O of §2.1: the statistical max over
+   every primary output's arrival. *)
+let output_rv t =
+  match Netlist.Circuit.outputs t.circuit with
+  | [] -> invalid_arg "Fullssta.output_rv: no outputs"
+  | outs ->
+      Numerics.Discrete_pdf.resample
+        (Numerics.Discrete_pdf.max_list (List.map (fun o -> t.pdfs.(o)) outs))
+        ~samples:t.config.samples
+
+let output_moments t = Numerics.Discrete_pdf.to_moments (output_rv t)
+
+(* sigma/mean of RV_O — Table 1's headline metric. *)
+let sigma_over_mean t =
+  let m = output_moments t in
+  if m.Numerics.Clark.mean = 0.0 then Float.nan
+  else Numerics.Clark.sigma m /. m.Numerics.Clark.mean
+
+(* Statistical yield at a clock period: P(RV_O <= period). *)
+let yield_at t ~period = Numerics.Discrete_pdf.cdf (output_rv t) period

@@ -1,0 +1,33 @@
+(** FULLSSTA — discrete-pdf statistical timing (the accurate outer engine,
+    paper §4.2). Stores per-node pdfs and their moments for FASSTA. *)
+
+type config = {
+  samples : int;  (** pdf points, paper uses 10–15 (default 12) *)
+  model : Variation.Model.t;
+  electrical : Sta.Electrical.config;
+}
+
+val default_config : config
+
+type t
+
+val run : ?config:config -> Netlist.Circuit.t -> t
+
+val pdf : t -> Netlist.Circuit.id -> Numerics.Discrete_pdf.t
+(** Arrival-time pdf at a node. *)
+
+val moments : t -> Netlist.Circuit.id -> Numerics.Clark.moments
+(** Stored (mean, variance) of the node's arrival — FASSTA's boundary data. *)
+
+val electrical : t -> Sta.Electrical.t
+
+val output_rv : t -> Numerics.Discrete_pdf.t
+(** RV_O = statistical max over all primary outputs (paper §2.1). *)
+
+val output_moments : t -> Numerics.Clark.moments
+
+val sigma_over_mean : t -> float
+(** σ/μ of RV_O — Table 1's headline metric. *)
+
+val yield_at : t -> period:float -> float
+(** P(RV_O ≤ period). *)

@@ -1,0 +1,132 @@
+(* Monte-Carlo timing: the ground-truth engine both SSTA engines are
+   validated against, and the yield model behind Fig. 1's story. Each trial
+   perturbs every arc delay by its modeled sigma and runs a deterministic
+   arrival pass.
+
+   Deviation sharing is configurable:
+   - [`Per_arc]  (default): every arc draws independently — the exact
+     assumption FULLSSTA/FASSTA propagate under, so this mode is the right
+     reference for engine-accuracy validation;
+   - [`Per_gate]: all arcs of a gate share one deviation, adding the
+     within-gate correlation real silicon has (and SSTA ignores) — used by
+     the correlation study.
+   A [Variation.Correlated] structure layers die-level and regional factors
+   on top of either mode. *)
+
+type sharing = Per_arc | Per_gate
+
+type config = {
+  trials : int;
+  seed : int;
+  model : Variation.Model.t;
+  structure : Variation.Correlated.t;
+  sharing : sharing;
+  electrical : Sta.Electrical.config;
+}
+
+let default_config =
+  {
+    trials = 2000;
+    seed = 77;
+    model = Variation.Model.default;
+    structure = Variation.Correlated.independent;
+    sharing = Per_arc;
+    electrical = Sta.Electrical.default_config;
+  }
+
+type result = {
+  config : config;
+  circuit_delay : float array; (* worst output arrival per trial *)
+  per_output : (Netlist.Circuit.id * float array) list;
+}
+
+let run ?(config = default_config) circuit =
+  if config.trials < 1 then invalid_arg "Monte_carlo.run: trials < 1";
+  let electrical = Sta.Electrical.compute ~config:config.electrical circuit in
+  let n = Netlist.Circuit.size circuit in
+  let order = Netlist.Circuit.topological circuit in
+  let outputs = Netlist.Circuit.outputs circuit in
+  (* Pre-compute per-arc (nominal delay, sigma). *)
+  let arc_sigma =
+    Array.init n (fun id ->
+        match Netlist.Circuit.cell circuit id with
+        | None -> [||]
+        | Some cell ->
+            let strength = Cells.Cell.strength cell in
+            Array.map
+              (fun delay -> Variation.Model.sigma config.model ~delay ~strength)
+              (Sta.Electrical.arc_delays electrical id))
+  in
+  let rng = Numerics.Rng.create ~seed:config.seed in
+  let structure = config.structure in
+  let wg = Float.sqrt structure.Variation.Correlated.global_share in
+  let wr = Float.sqrt structure.Variation.Correlated.regional_share in
+  let we = Float.sqrt (Variation.Correlated.residual_share structure) in
+  let regions = structure.Variation.Correlated.regions in
+  let arrival = Array.make n 0.0 in
+  let circuit_delay = Array.make config.trials 0.0 in
+  let per_output = List.map (fun o -> (o, Array.make config.trials 0.0)) outputs in
+  for trial = 0 to config.trials - 1 do
+    let g = Numerics.Rng.gaussian rng in
+    let regional = Array.init regions (fun _ -> Numerics.Rng.gaussian rng) in
+    let common id = (wg *. g) +. (wr *. regional.(id mod regions)) in
+    List.iter
+      (fun id ->
+        let fanins = Netlist.Circuit.fanins circuit id in
+        if Array.length fanins = 0 then
+          arrival.(id) <- config.electrical.Sta.Electrical.input_arrival
+        else begin
+          let arcs = Sta.Electrical.arc_delays electrical id in
+          let sigmas = arc_sigma.(id) in
+          let base = common id in
+          let gate_eps =
+            match config.sharing with
+            | Per_gate -> Numerics.Rng.gaussian rng
+            | Per_arc -> 0.0
+          in
+          let at = ref Float.neg_infinity in
+          Array.iteri
+            (fun k fi ->
+              let eps =
+                match config.sharing with
+                | Per_gate -> gate_eps
+                | Per_arc -> Numerics.Rng.gaussian rng
+              in
+              let z = base +. (we *. eps) in
+              (* No clamping at zero: the variation model is normal by
+                 construction (as in the paper and in both SSTA engines), so
+                 the reference keeps the full normal tail for consistency. *)
+              let d = arcs.(k) +. (sigmas.(k) *. z) in
+              at := Float.max !at (arrival.(fi) +. d))
+            fanins;
+          arrival.(id) <- !at
+        end)
+      order;
+    let worst =
+      List.fold_left (fun acc o -> Float.max acc arrival.(o)) Float.neg_infinity
+        outputs
+    in
+    circuit_delay.(trial) <- worst;
+    List.iter (fun (o, arr) -> arr.(trial) <- arrival.(o)) per_output
+  done;
+  { config; circuit_delay; per_output }
+
+let circuit_stats r = Numerics.Stats.of_list (Array.to_list r.circuit_delay)
+
+let output_stats r id =
+  match List.assoc_opt id r.per_output with
+  | Some arr -> Some (Numerics.Stats.of_list (Array.to_list arr))
+  | None -> None
+
+let yield_at r ~period =
+  let hits =
+    Array.fold_left
+      (fun acc d -> if d <= period then acc + 1 else acc)
+      0 r.circuit_delay
+  in
+  float_of_int hits /. float_of_int (Array.length r.circuit_delay)
+
+let circuit_pdf ?(samples = 40) r =
+  Numerics.Discrete_pdf.of_samples ~samples (Array.to_list r.circuit_delay)
+
+let quantile r p = Numerics.Stats.percentile (Array.to_list r.circuit_delay) p

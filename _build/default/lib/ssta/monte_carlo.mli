@@ -1,0 +1,35 @@
+(** Monte-Carlo timing — the ground truth the SSTA engines are validated
+    against, and the yield model behind Fig. 1. *)
+
+type sharing =
+  | Per_arc  (** independent draw per arc — matches the SSTA assumption *)
+  | Per_gate  (** arcs of a gate share one deviation (correlation study) *)
+
+type config = {
+  trials : int;
+  seed : int;
+  model : Variation.Model.t;
+  structure : Variation.Correlated.t;
+  sharing : sharing;
+  electrical : Sta.Electrical.config;
+}
+
+val default_config : config
+(** 2000 trials, per-arc independent draws, default variation model. *)
+
+type result = {
+  config : config;
+  circuit_delay : float array;  (** worst output arrival per trial *)
+  per_output : (Netlist.Circuit.id * float array) list;
+}
+
+val run : ?config:config -> Netlist.Circuit.t -> result
+
+val circuit_stats : result -> Numerics.Stats.t
+val output_stats : result -> Netlist.Circuit.id -> Numerics.Stats.t option
+
+val yield_at : result -> period:float -> float
+(** Fraction of trials meeting the period. *)
+
+val circuit_pdf : ?samples:int -> result -> Numerics.Discrete_pdf.t
+val quantile : result -> float -> float

@@ -1,0 +1,114 @@
+(* Statistical required times and slack.
+
+   The deterministic backward pass generalizes to moments: at a primary
+   output the required time is the (deterministic) clock period; walking
+   backwards, a node's required time through a reader arc is the reader's
+   required time MINUS the arc delay — a moment subtraction whose variance
+   adds — and competing readers combine with the statistical MIN (the
+   mirror of Clark's max: min(A,B) = −max(−A,−B)).
+
+   A node's statistical slack is required − arrival (independence assumed,
+   as everywhere in both engines). The most negative slack — judged by
+   mean − α·σ, i.e. pessimistically — names the nodes the paper's "worst
+   negative statistical slack" vocabulary points at. *)
+
+type t = {
+  period : float;
+  required : Numerics.Clark.moments option array; (* None = no path onward *)
+  slack : Numerics.Clark.moments option array;
+}
+
+let neg (m : Numerics.Clark.moments) =
+  Numerics.Clark.moments ~mean:(-.m.Numerics.Clark.mean) ~var:m.Numerics.Clark.var
+
+let min_moments ~exact a b =
+  let max2 = if exact then Numerics.Clark.max_exact ?rho:None else Numerics.Clark.max_fast in
+  neg (max2 (neg a) (neg b))
+
+(* Moments of A − B assuming independence. *)
+let diff (a : Numerics.Clark.moments) (b : Numerics.Clark.moments) =
+  Numerics.Clark.moments
+    ~mean:(a.Numerics.Clark.mean -. b.Numerics.Clark.mean)
+    ~var:(a.Numerics.Clark.var +. b.Numerics.Clark.var)
+
+let compute ?(exact = true) ?required_at ~model ~circuit
+    ~(electrical : Sta.Electrical.t) ~arrival ~period () =
+  let n = Netlist.Circuit.size circuit in
+  let required : Numerics.Clark.moments option array = Array.make n None in
+  let meet id cand =
+    required.(id) <-
+      (match required.(id) with
+      | None -> Some cand
+      | Some r -> Some (min_moments ~exact r cand))
+  in
+  let output_required o =
+    match required_at with Some f -> f o | None -> period
+  in
+  List.iter
+    (fun o -> meet o (Numerics.Clark.moments ~mean:(output_required o) ~var:0.0))
+    (Netlist.Circuit.outputs circuit);
+  List.iter
+    (fun id ->
+      match required.(id) with
+      | None -> () (* dangling: nothing constrains the fanins through it *)
+      | Some r ->
+          let fanins = Netlist.Circuit.fanins circuit id in
+          Array.iteri
+            (fun k fi ->
+              let arc = Fassta.arc_moments model circuit electrical id k in
+              meet fi (diff r arc))
+            fanins)
+    (List.rev (Netlist.Circuit.topological circuit));
+  let slack =
+    Array.mapi
+      (fun id r ->
+        match r with None -> None | Some r -> Some (diff r (arrival id)))
+      required
+  in
+  { period; required; slack }
+
+let of_fullssta ?exact ?required_at ~model ~period full circuit =
+  compute ?exact ?required_at ~model ~circuit
+    ~electrical:(Fullssta.electrical full)
+    ~arrival:(Fullssta.moments full) ~period ()
+
+(* Constrained analysis straight from an SDC constraint set. *)
+let of_sdc ?exact ~model ~sdc full circuit =
+  of_fullssta ?exact
+    ~required_at:(fun o -> Sta.Sdc.required_at sdc circuit o)
+    ~model
+    ~period:(Sta.Sdc.period_exn sdc)
+    full circuit
+
+let required t id = t.required.(id)
+let slack t id = t.slack.(id)
+
+(* Pessimistic slack: mean − α·σ (negative when the node risks missing the
+   period at the α-sigma corner). *)
+let pessimistic_slack t ~alpha id =
+  match t.slack.(id) with
+  | None -> None
+  | Some s ->
+      Some (s.Numerics.Clark.mean -. (alpha *. Numerics.Clark.sigma s))
+
+(* The worst node by pessimistic slack — a required-time anchor for WNSS. *)
+let worst_node t ~alpha circuit =
+  let best = ref None in
+  Netlist.Circuit.iter_nodes circuit ~f:(fun id ->
+      match pessimistic_slack t ~alpha id with
+      | None -> ()
+      | Some v -> (
+          match !best with
+          | Some (_, bv) when bv <= v -> ()
+          | _ -> best := Some (id, v)));
+  !best
+
+(* Probability the node meets its required time: P(slack >= 0). *)
+let meet_probability t id =
+  match t.slack.(id) with
+  | None -> None
+  | Some s ->
+      let sigma = Numerics.Clark.sigma s in
+      Some
+        (if sigma <= 0.0 then if s.Numerics.Clark.mean >= 0.0 then 1.0 else 0.0
+         else 1.0 -. Numerics.Normal.cdf (-.s.Numerics.Clark.mean /. sigma))

@@ -1,0 +1,1 @@
+lib/sta/analysis.ml: Array Electrical Float Fmt List Netlist

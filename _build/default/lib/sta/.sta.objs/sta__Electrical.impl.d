@@ -1,0 +1,1 @@
+lib/sta/electrical.ml: Array Cells Float List Netlist

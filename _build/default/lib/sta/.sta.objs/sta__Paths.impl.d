@@ -1,0 +1,1 @@
+lib/sta/paths.ml: Analysis Array Cells Electrical Fmt List Netlist Numerics Stdlib Variation

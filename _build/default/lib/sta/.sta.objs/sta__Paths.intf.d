@@ -1,0 +1,1 @@
+lib/sta/paths.mli: Analysis Electrical Fmt Netlist Numerics Variation

@@ -1,0 +1,1 @@
+lib/sta/sdc.ml: Float Fmt Fun In_channel List Netlist Option Printf Stdlib String

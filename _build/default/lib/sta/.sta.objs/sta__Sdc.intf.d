@@ -1,0 +1,1 @@
+lib/sta/sdc.mli: Fmt Netlist

@@ -1,0 +1,1 @@
+lib/sta/sdf.ml: Array Buffer Cells Electrical Float Fun List Netlist Printf String Variation

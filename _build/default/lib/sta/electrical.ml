@@ -1,0 +1,109 @@
+(* The electrical state of a sized circuit: per-node load and output slew,
+   and the nominal delay of every fanin->output arc, all straight from the
+   library LUTs.
+
+   Slew propagation uses the worst (largest) fanin slew, the usual
+   conservative choice that keeps the electrical pass independent of
+   arrival times. Both timing engines (deterministic and statistical) and
+   the Monte-Carlo sampler consume these arc delays, so they always agree
+   on the nominal electrical picture. *)
+
+type config = { input_slew : float; input_arrival : float }
+
+let default_config = { input_slew = 10.0; input_arrival = 0.0 }
+
+type t = {
+  config : config;
+  load : float array;
+  slew : float array;
+  arc_delay : float array array; (* arc_delay.(gate).(k) for fanin k *)
+}
+
+let compute ?(config = default_config) circuit =
+  let n = Netlist.Circuit.size circuit in
+  let load = Array.make n 0.0 in
+  let slew = Array.make n config.input_slew in
+  let arc_delay = Array.make n [||] in
+  List.iter
+    (fun id ->
+      load.(id) <- Netlist.Circuit.load circuit id;
+      match Netlist.Circuit.cell circuit id with
+      | None -> () (* primary input: slew stays at the boundary value *)
+      | Some cell ->
+          let fanins = Netlist.Circuit.fanins circuit id in
+          let worst_in_slew =
+            Array.fold_left (fun acc fi -> Float.max acc slew.(fi)) 0.0 fanins
+          in
+          arc_delay.(id) <-
+            Array.map
+              (fun fi -> Cells.Cell.delay cell ~slew:slew.(fi) ~load:load.(id))
+              fanins;
+          slew.(id) <- Cells.Cell.slew cell ~slew:worst_in_slew ~load:load.(id))
+    (Netlist.Circuit.topological circuit);
+  { config; load; slew; arc_delay }
+
+let load t id = t.load.(id)
+let slew t id = t.slew.(id)
+let arc_delays t id = t.arc_delay.(id)
+
+(* In-place recomputation for a topologically-ordered node subset — the
+   sizing inner loop re-derives the electrical picture of a subcircuit
+   window after a trial resize, leaving everything outside untouched.
+   Boundary slews are whatever the arrays currently hold. *)
+let recompute_nodes t circuit ids =
+  Array.iter
+    (fun id ->
+      t.load.(id) <- Netlist.Circuit.load circuit id;
+      match Netlist.Circuit.cell circuit id with
+      | None -> ()
+      | Some cell ->
+          let fanins = Netlist.Circuit.fanins circuit id in
+          let worst_in_slew =
+            Array.fold_left (fun acc fi -> Float.max acc t.slew.(fi)) 0.0 fanins
+          in
+          t.arc_delay.(id) <-
+            Array.map
+              (fun fi -> Cells.Cell.delay cell ~slew:t.slew.(fi) ~load:t.load.(id))
+              fanins;
+          t.slew.(id) <- Cells.Cell.slew cell ~slew:worst_in_slew ~load:t.load.(id))
+    ids
+
+(* Full in-place refresh: every node, in topological order. Cheap (one LUT
+   sweep) and used after each committed resize so subsequent evaluations
+   never see stale loads or slews. *)
+let recompute_all t circuit =
+  List.iter
+    (fun id ->
+      t.load.(id) <- Netlist.Circuit.load circuit id;
+      match Netlist.Circuit.cell circuit id with
+      | None -> ()
+      | Some cell ->
+          let fanins = Netlist.Circuit.fanins circuit id in
+          let worst_in_slew =
+            Array.fold_left (fun acc fi -> Float.max acc t.slew.(fi)) 0.0 fanins
+          in
+          t.arc_delay.(id) <-
+            Array.map
+              (fun fi -> Cells.Cell.delay cell ~slew:t.slew.(fi) ~load:t.load.(id))
+              fanins;
+          t.slew.(id) <- Cells.Cell.slew cell ~slew:worst_in_slew ~load:t.load.(id))
+    (Netlist.Circuit.topological circuit)
+
+(* Saved per-node electrical state, for undoing a trial recomputation. *)
+type snapshot = (int * float * float * float array) array
+
+let snapshot t ids =
+  Array.map (fun id -> (id, t.load.(id), t.slew.(id), t.arc_delay.(id))) ids
+
+let restore t (snap : snapshot) =
+  Array.iter
+    (fun (id, load, slew, arcs) ->
+      t.load.(id) <- load;
+      t.slew.(id) <- slew;
+      t.arc_delay.(id) <- arcs)
+    snap
+
+let gate_mean_delay t id =
+  let arcs = t.arc_delay.(id) in
+  if Array.length arcs = 0 then 0.0
+  else Array.fold_left ( +. ) 0.0 arcs /. float_of_int (Array.length arcs)

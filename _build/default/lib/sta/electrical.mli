@@ -1,0 +1,37 @@
+(** Electrical state of a sized circuit: loads, slews (worst-fanin
+    propagation) and nominal per-arc delays from the library LUTs. Shared by
+    the deterministic, statistical, and Monte-Carlo engines. *)
+
+type config = { input_slew : float; input_arrival : float }
+
+val default_config : config
+(** 10 ps boundary slew, time-0 input arrivals. *)
+
+type t = {
+  config : config;
+  load : float array;
+  slew : float array;
+  arc_delay : float array array;
+}
+
+val compute : ?config:config -> Netlist.Circuit.t -> t
+
+val load : t -> Netlist.Circuit.id -> float
+val slew : t -> Netlist.Circuit.id -> float
+
+val arc_delays : t -> Netlist.Circuit.id -> float array
+(** Nominal delay per fanin arc ([||] for primary inputs). *)
+
+val gate_mean_delay : t -> Netlist.Circuit.id -> float
+
+val recompute_nodes : t -> Netlist.Circuit.t -> Netlist.Circuit.id array -> unit
+(** Recompute load/arc-delays/slew in place for a topologically-ordered node
+    subset, reading the circuit's current cells (trial-resize support). *)
+
+val recompute_all : t -> Netlist.Circuit.t -> unit
+(** Full in-place refresh of loads, arc delays and slews. *)
+
+type snapshot
+
+val snapshot : t -> Netlist.Circuit.id array -> snapshot
+val restore : t -> snapshot -> unit

@@ -1,0 +1,137 @@
+(* K-worst path enumeration (deterministic), plus per-path statistical delay
+   moments (along one fixed path there is no max, so the moments are exact
+   sums — useful to contrast node-based SSTA against path-based views, and
+   to report "this path misses the period with probability p").
+
+   Enumeration is best-first over partial paths grown backwards from the
+   outputs: a partial path ending (towards the inputs) at node [head] with
+   [suffix] delay already fixed has potential arrival(head) + suffix, an
+   exact upper bound that equals the true path arrival when completed, so
+   the first K completed paths popped from the queue are exactly the K
+   worst. *)
+
+type path = {
+  nodes : Netlist.Circuit.id list; (* input first, output last *)
+  arrival : float;
+}
+
+(* A minimal max-heap on float priorities. *)
+module Heap = struct
+  type 'a t = { mutable data : (float * 'a) array; mutable len : int }
+
+  let create () = { data = [||]; len = 0 }
+
+  let swap h i j =
+    let tmp = h.data.(i) in
+    h.data.(i) <- h.data.(j);
+    h.data.(j) <- tmp
+
+  let push h prio v =
+    if h.len = Array.length h.data then begin
+      let grown =
+        Array.make (Stdlib.max 16 (2 * Array.length h.data)) (0.0, v)
+      in
+      Array.blit h.data 0 grown 0 h.len;
+      h.data <- grown
+    end;
+    h.data.(h.len) <- (prio, v);
+    h.len <- h.len + 1;
+    let i = ref (h.len - 1) in
+    while !i > 0 && fst h.data.((!i - 1) / 2) < fst h.data.(!i) do
+      swap h !i ((!i - 1) / 2);
+      i := (!i - 1) / 2
+    done
+
+  let pop h =
+    if h.len = 0 then None
+    else begin
+      let top = h.data.(0) in
+      h.len <- h.len - 1;
+      h.data.(0) <- h.data.(h.len);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let largest = ref !i in
+        if l < h.len && fst h.data.(l) > fst h.data.(!largest) then largest := l;
+        if r < h.len && fst h.data.(r) > fst h.data.(!largest) then largest := r;
+        if !largest <> !i then begin
+          swap h !i !largest;
+          i := !largest
+        end
+        else continue := false
+      done;
+      Some top
+    end
+end
+
+(* Partial path: [head] is the node still to be expanded; [tail] holds the
+   nodes already fixed, head-exclusive, input..output order when reversed. *)
+type partial = { head : Netlist.Circuit.id; tail : Netlist.Circuit.id list }
+
+let k_worst (analysis : Analysis.t) circuit ~k =
+  if k < 1 then invalid_arg "Paths.k_worst: k < 1";
+  let electrical = Analysis.electrical analysis in
+  let heap = Heap.create () in
+  List.iter
+    (fun o -> Heap.push heap (Analysis.arrival analysis o) { head = o; tail = [] })
+    (Netlist.Circuit.outputs circuit);
+  let results = ref [] in
+  let count = ref 0 in
+  let rec drain () =
+    if !count < k then
+      match Heap.pop heap with
+      | None -> ()
+      | Some (potential, p) ->
+          let fanins = Netlist.Circuit.fanins circuit p.head in
+          if Array.length fanins = 0 then begin
+            incr count;
+            results :=
+              { nodes = p.head :: p.tail; arrival = potential } :: !results
+          end
+          else begin
+            let arcs = Electrical.arc_delays electrical p.head in
+            let suffix = potential -. Analysis.arrival analysis p.head in
+            Array.iteri
+              (fun idx fi ->
+                Heap.push heap
+                  (Analysis.arrival analysis fi +. arcs.(idx) +. suffix)
+                  { head = fi; tail = p.head :: p.tail })
+              fanins
+          end;
+          drain ()
+  in
+  drain ();
+  List.rev !results
+
+(* Exact delay moments of one specific path under a variation model: pure
+   sums of arc moments, no max approximation. *)
+let path_moments ~model circuit (electrical : Electrical.t) path =
+  let rec walk acc = function
+    | a :: (b :: _ as rest) ->
+        let fanins = Netlist.Circuit.fanins circuit b in
+        let arc_index = ref (-1) in
+        Array.iteri (fun idx fi -> if fi = a then arc_index := idx) fanins;
+        if !arc_index < 0 then
+          invalid_arg "Paths.path_moments: nodes are not connected";
+        let delay = (Electrical.arc_delays electrical b).(!arc_index) in
+        let strength =
+          Cells.Cell.strength (Netlist.Circuit.cell_exn circuit b)
+        in
+        let arc = Variation.Model.delay_moments model ~delay ~strength in
+        walk (Numerics.Clark.sum acc arc) rest
+    | _ -> acc
+  in
+  walk (Numerics.Clark.moments ~mean:0.0 ~var:0.0) path.nodes
+
+(* Probability that the path alone violates a period. *)
+let violation_probability ~model circuit electrical path ~period =
+  let m = path_moments ~model circuit electrical path in
+  let sigma = Numerics.Clark.sigma m in
+  if sigma <= 0.0 then if m.Numerics.Clark.mean > period then 1.0 else 0.0
+  else Numerics.Normal.cdf ((m.Numerics.Clark.mean -. period) /. sigma)
+
+let pp circuit ppf p =
+  Fmt.pf ppf "@[<hov 2>%.2f ps: %a@]" p.arrival
+    (Fmt.list ~sep:(Fmt.any " -> ") Fmt.string)
+    (List.map (Netlist.Circuit.node_name circuit) p.nodes)

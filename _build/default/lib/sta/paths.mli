@@ -1,0 +1,30 @@
+(** K-worst path enumeration (exact, best-first) and per-path statistical
+    delay moments (exact sums — no max approximation along one path). *)
+
+type path = {
+  nodes : Netlist.Circuit.id list;  (** input first, output last *)
+  arrival : float;
+}
+
+val k_worst : Analysis.t -> Netlist.Circuit.t -> k:int -> path list
+(** The [k] worst input→output paths by deterministic arrival, worst first
+    (fewer when the circuit has fewer paths). *)
+
+val path_moments :
+  model:Variation.Model.t ->
+  Netlist.Circuit.t ->
+  Electrical.t ->
+  path ->
+  Numerics.Clark.moments
+(** Exact delay moments of one path under the variation model. *)
+
+val violation_probability :
+  model:Variation.Model.t ->
+  Netlist.Circuit.t ->
+  Electrical.t ->
+  path ->
+  period:float ->
+  float
+(** P(path delay > period) under the normal approximation. *)
+
+val pp : Netlist.Circuit.t -> path Fmt.t

@@ -1,0 +1,141 @@
+(* A small SDC (Synopsys Design Constraints) subset:
+
+     create_clock -period <ps> [-name <n>]
+     set_input_delay  <ps> [-clock <n>] <port>
+     set_output_delay <ps> [-clock <n>] <port>
+
+   set_output_delay shrinks the time available at that output (required =
+   period − delay); set_input_delay pushes the port's arrival later. '#'
+   and '//' start comments; ports may be bracketed ([get_ports x]). This is
+   enough to drive constrained statistical-slack analysis on real designs. *)
+
+exception Parse_error of { line : int; message : string }
+
+let fail line fmt =
+  Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+type t = {
+  period : float option;
+  clock_name : string option;
+  input_delays : (string * float) list; (* port -> extra arrival *)
+  output_delays : (string * float) list; (* port -> margin before the edge *)
+}
+
+let empty =
+  { period = None; clock_name = None; input_delays = []; output_delays = [] }
+
+let strip_comment line =
+  let cut i = String.sub line 0 i in
+  let hash = String.index_opt line '#' in
+  let slashes =
+    let rec go i =
+      if i + 1 >= String.length line then None
+      else if line.[i] = '/' && line.[i + 1] = '/' then Some i
+      else go (i + 1)
+    in
+    go 0
+  in
+  match (hash, slashes) with
+  | Some h, Some s -> cut (Stdlib.min h s)
+  | Some h, None -> cut h
+  | None, Some s -> cut s
+  | None, None -> line
+
+(* Strip [get_ports x] / {x} / [x] wrappers down to the port name. *)
+let port_of token =
+  let drop_prefix p s =
+    if String.length s >= String.length p && String.sub s 0 (String.length p) = p
+    then String.sub s (String.length p) (String.length s - String.length p)
+    else s
+  in
+  token
+  |> String.map (fun c -> match c with '[' | ']' | '{' | '}' -> ' ' | c -> c)
+  |> String.trim |> drop_prefix "get_ports" |> String.trim
+
+let tokens_of line =
+  String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+
+let parse_line ~line acc text =
+  match tokens_of (strip_comment text) with
+  | [] -> acc
+  | "create_clock" :: rest ->
+      let rec scan acc_t = function
+        | "-period" :: v :: rest -> (
+            match float_of_string_opt v with
+            | Some p when p > 0.0 -> scan { acc_t with period = Some p } rest
+            | _ -> fail line "bad -period value %S" v)
+        | "-name" :: n :: rest -> scan { acc_t with clock_name = Some n } rest
+        | _ :: rest -> scan acc_t rest
+        | [] -> acc_t
+      in
+      let acc = scan acc rest in
+      if acc.period = None then fail line "create_clock needs -period";
+      acc
+  | ("set_input_delay" | "set_output_delay") :: rest as all ->
+      let kind = List.hd all in
+      let rec scan value port = function
+        | "-clock" :: _ :: rest -> scan value port rest
+        | "-max" :: rest | "-min" :: rest -> scan value port rest
+        | tok :: rest -> (
+            match float_of_string_opt tok with
+            | Some v when value = None -> scan (Some v) port rest
+            | _ ->
+                let p = port_of (String.concat " " (tok :: rest)) in
+                scan value (Some p) [])
+        | [] -> (value, port)
+      in
+      (match scan None None rest with
+      | Some v, Some p when p <> "" ->
+          if kind = "set_input_delay" then
+            { acc with input_delays = (p, v) :: acc.input_delays }
+          else { acc with output_delays = (p, v) :: acc.output_delays }
+      | _ -> fail line "%s needs a value and a port" kind)
+  | cmd :: _ -> fail line "unsupported SDC command %S" cmd
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let acc, _ =
+    List.fold_left
+      (fun (acc, n) l -> (parse_line ~line:n acc l, n + 1))
+      (empty, 1) lines
+  in
+  {
+    acc with
+    input_delays = List.rev acc.input_delays;
+    output_delays = List.rev acc.output_delays;
+  }
+
+let load ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (In_channel.input_all ic))
+
+let period t = t.period
+
+let period_exn t =
+  match t.period with
+  | Some p -> p
+  | None -> invalid_arg "Sdc.period_exn: no create_clock in constraints"
+
+let input_delay t ~port =
+  Option.value ~default:0.0 (List.assoc_opt port t.input_delays)
+
+let output_delay t ~port =
+  Option.value ~default:0.0 (List.assoc_opt port t.output_delays)
+
+(* Per-output required time: period minus the external output delay. *)
+let required_at t circuit id =
+  period_exn t -. output_delay t ~port:(Netlist.Circuit.node_name circuit id)
+
+(* Worst-case launch offset across inputs — a conservative arrival shift for
+   engines that carry a single boundary arrival. *)
+let worst_input_delay t =
+  List.fold_left (fun acc (_, v) -> Float.max acc v) 0.0 t.input_delays
+
+let pp ppf t =
+  Fmt.pf ppf "sdc: period=%a, %d input delays, %d output delays"
+    Fmt.(option ~none:(any "unset") float)
+    t.period
+    (List.length t.input_delays)
+    (List.length t.output_delays)

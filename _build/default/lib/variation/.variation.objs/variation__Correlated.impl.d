@@ -1,0 +1,1 @@
+lib/variation/correlated.ml: Array Float Fmt Numerics

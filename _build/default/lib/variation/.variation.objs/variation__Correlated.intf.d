@@ -1,0 +1,1 @@
+lib/variation/correlated.mli: Fmt Numerics

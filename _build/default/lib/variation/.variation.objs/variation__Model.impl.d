@@ -1,0 +1,1 @@
+lib/variation/model.ml: Float Fmt Numerics

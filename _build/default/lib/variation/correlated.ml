@@ -1,0 +1,54 @@
+(* Correlated variation draws — the outer-loop extension the paper points at
+   (§4.3: correlations due to reconvergence and spatial proximity can be
+   tracked with PCA, "as long as runtime is managed appropriately").
+
+   Without placement data we substitute a hierarchical decomposition: each
+   standard-normal gate deviation is
+
+       z_g = sqrt(g_share)·G + sqrt(r_share)·R_region(g) + sqrt(rest)·eps_g
+
+   with one global factor G per die, one factor per region (gates are
+   striped across regions round-robin, standing in for placement tiles) and
+   an independent residual. g_share = r_share = 0 recovers the paper's
+   independent model. *)
+
+type t = {
+  global_share : float;
+  regional_share : float;
+  regions : int;
+}
+
+let independent = { global_share = 0.0; regional_share = 0.0; regions = 1 }
+
+let create ?(global_share = 0.0) ?(regional_share = 0.0) ?(regions = 1) () =
+  if global_share < 0.0 || regional_share < 0.0 then
+    invalid_arg "Correlated.create: negative shares";
+  if global_share +. regional_share > 1.0 then
+    invalid_arg "Correlated.create: shares exceed 1";
+  if regions < 1 then invalid_arg "Correlated.create: regions < 1";
+  { global_share; regional_share; regions }
+
+let residual_share t = 1.0 -. t.global_share -. t.regional_share
+
+(* One die's worth of standard-normal deviations for [count] gates. *)
+let draw t rng ~count =
+  let g = Numerics.Rng.gaussian rng in
+  let regional = Array.init t.regions (fun _ -> Numerics.Rng.gaussian rng) in
+  let wg = Float.sqrt t.global_share
+  and wr = Float.sqrt t.regional_share
+  and we = Float.sqrt (residual_share t) in
+  Array.init count (fun i ->
+      (wg *. g)
+      +. (wr *. regional.(i mod t.regions))
+      +. (we *. Numerics.Rng.gaussian rng))
+
+(* Pairwise correlation between two gates implied by the structure. *)
+let correlation t ~gate_a ~gate_b =
+  if gate_a = gate_b then 1.0
+  else
+    t.global_share
+    +. if gate_a mod t.regions = gate_b mod t.regions then t.regional_share else 0.0
+
+let pp ppf t =
+  Fmt.pf ppf "corr(global=%.2f, regional=%.2f x%d)" t.global_share
+    t.regional_share t.regions

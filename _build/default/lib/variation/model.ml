@@ -1,0 +1,58 @@
+(* The process-variation model.
+
+   Following the paper's setup (variations added per Cong'97 and Nassif'00),
+   every gate-delay arc receives two variation components:
+
+   - a systematic part proportional to the delay through the gate and
+     inversely proportional to device dimensions (the paper's own wording in
+     §4.4: "gate performance variations inversely proportional to their
+     dimensions") — upsizing reduces sigma; this is the lever the optimizer
+     exploits;
+   - an unsystematic random part that does not shrink with sizing — the
+     floor that makes improvement saturate at high alpha (the paper's
+     observation that pushing alpha past ~9 stops helping).
+
+     sigma(d, s) = sqrt( (k_sys · d / s^e)² + (k_rand · tau_ref)² )
+
+   with size exponent e = 1 by default (the paper's "inversely
+   proportional to their dimensions"). *)
+
+type t = {
+  systematic : float; (* k_sys, fraction of delay at minimum size *)
+  random_floor : float; (* k_rand, fraction of tau_ref *)
+  tau_ref : float; (* reference time constant, ps *)
+  size_exponent : float; (* e in sigma_sys ∝ 1/s^e *)
+}
+
+let create ?(systematic = 0.8) ?(random_floor = 0.15) ?(tau_ref = 5.0)
+    ?(size_exponent = 1.0) () =
+  if systematic < 0.0 || random_floor < 0.0 || tau_ref <= 0.0 then
+    invalid_arg "Variation.Model.create: negative parameters";
+  if size_exponent < 0.0 then
+    invalid_arg "Variation.Model.create: negative size exponent";
+  { systematic; random_floor; tau_ref; size_exponent }
+
+let default = create ()
+
+let systematic_sigma t ~delay ~strength =
+  t.systematic *. delay /. Float.pow (Float.max strength 1e-9) t.size_exponent
+
+let random_sigma t = t.random_floor *. t.tau_ref
+
+let sigma t ~delay ~strength =
+  let s1 = systematic_sigma t ~delay ~strength and s2 = random_sigma t in
+  Float.sqrt ((s1 *. s1) +. (s2 *. s2))
+
+let delay_moments t ~delay ~strength =
+  let s = sigma t ~delay ~strength in
+  Numerics.Clark.moments ~mean:delay ~var:(s *. s)
+
+(* The paper's coupling constant c in Δσ ≈ c·Δμ (§4.4): how much an arc's
+   sigma moves when its mean moves. We use the systematic coefficient at the
+   reference size, "equal to those assumed to relate mean delay through a
+   gate to its variance". *)
+let coupling t = t.systematic
+
+let pp ppf t =
+  Fmt.pf ppf "variation(k_sys=%.3f, k_rand=%.3f, tau=%.1f)" t.systematic
+    t.random_floor t.tau_ref

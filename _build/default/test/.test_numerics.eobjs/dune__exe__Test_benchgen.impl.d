@@ -1,0 +1,1 @@
+test/test_benchgen.ml: Alcotest Benchgen List Netlist Numerics Printf Test_util

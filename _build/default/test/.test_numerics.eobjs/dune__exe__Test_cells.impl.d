@@ -1,0 +1,1 @@
+test/test_cells.ml: Alcotest Array Cells Filename Fun List Printf Sys Test_util

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Benchgen Cells Core Float List Netlist Numerics Printf Ssta Test_util Variation

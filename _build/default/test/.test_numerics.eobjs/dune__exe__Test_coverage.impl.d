@@ -1,0 +1,1 @@
+test/test_coverage.ml: Alcotest Array Benchgen Cells Core Float Fmt List Netlist Numerics Printf Ssta Sta String Test_util Variation

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Benchgen Experiments Float List Numerics Option Ssta String Test_util

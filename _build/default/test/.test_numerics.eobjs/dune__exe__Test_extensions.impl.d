@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Benchgen Core Filename Float List Netlist Numerics Printf Ssta Sta String Sys Test_util Variation

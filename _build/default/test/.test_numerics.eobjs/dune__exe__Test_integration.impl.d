@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Benchgen Cells Core Experiments Float List Netlist Numerics Printf Ssta Sta Test_util

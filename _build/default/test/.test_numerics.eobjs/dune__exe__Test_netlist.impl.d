@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array Benchgen Cells Fun List Netlist Numerics Printf String Test_util

@@ -1,0 +1,1 @@
+test/test_numerics.ml: Alcotest Array Float Fun Gen List Numerics QCheck Test_util

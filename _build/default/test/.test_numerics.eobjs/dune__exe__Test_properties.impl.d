@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Benchgen Cells Core Float List Netlist Numerics Printf QCheck Ssta Sta Test_util Variation

@@ -1,0 +1,1 @@
+test/test_regressions.ml: Alcotest Array Benchgen Cells Core Float List Netlist Numerics Printf Ssta Sta String Test_util Variation

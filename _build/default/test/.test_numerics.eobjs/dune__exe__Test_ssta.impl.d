@@ -1,0 +1,1 @@
+test/test_ssta.ml: Alcotest Array Benchgen Cells Core Float Hashtbl List Netlist Numerics Ssta Sta Test_util Variation

@@ -1,0 +1,1 @@
+test/test_sta.ml: Alcotest Array Benchgen Cells Float List Netlist Sta Test_util

@@ -1,0 +1,1 @@
+test/test_tooling.ml: Alcotest Array Benchgen Cells Core Float List Netlist Numerics Printf Ssta Sta String Test_util Variation

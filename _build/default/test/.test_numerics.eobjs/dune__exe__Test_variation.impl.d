@@ -1,0 +1,1 @@
+test/test_variation.ml: Alcotest Array Float Numerics Test_util Variation

@@ -1,0 +1,98 @@
+(* Tests for the experiment harness (small circuits only; the full paper
+   reproduction lives in bench/main.exe). *)
+
+open Test_util
+
+let fig3_reproduces_the_paper () =
+  let r = Experiments.Fig3.trace () in
+  Alcotest.(check (list string))
+    "WNSS path is X -> g2 -> g4"
+    [ "X"; "g2"; "g4" ]
+    (List.map Experiments.Fig3.name r.Experiments.Fig3.path);
+  (* the interesting decision: at g2 the LOWER-mean, higher-sigma input g4
+     wins over g3 — the paper's central point about statistical tracing *)
+  check_true "g4 beats g3 despite the lower mean"
+    (List.exists
+       (fun (at, picked, _) ->
+         at = Experiments.Fig3.G2 && picked = Experiments.Fig3.G4)
+       r.Experiments.Fig3.decisions)
+
+let fig3_arrivals_match_figure () =
+  close "g2 mean" 392.0 (Experiments.Fig3.arrival Experiments.Fig3.G2).Numerics.Clark.mean;
+  close "g4 sigma" 45.0
+    (Numerics.Clark.sigma (Experiments.Fig3.arrival Experiments.Fig3.G4));
+  check_int "X has two inputs" 2
+    (List.length (Experiments.Fig3.contributions Experiments.Fig3.X))
+
+let approx_erf_report () =
+  let r = Experiments.Approx.erf_study () in
+  check_true "two-decimal claim holds (≈0.011 worst case)"
+    (r.Experiments.Approx.max_abs_error < 0.015)
+
+let approx_max_report () =
+  let r = Experiments.Approx.max_study ~cases:120 ~trials:8000 () in
+  check_int "all cases ran" 120 r.Experiments.Approx.cases;
+  check_true "fast mean close to exact"
+    (r.Experiments.Approx.worst_mean_err_vs_exact < 0.03);
+  check_true "exact Clark close to MC"
+    (r.Experiments.Approx.worst_mean_err_exact_vs_mc < 0.03);
+  check_true "cutoff fires for a sizable share"
+    (r.Experiments.Approx.cutoff_fraction > 0.1)
+
+let approx_cutoff_study () =
+  let rows = Experiments.Approx.cutoff_study ~names:[ "alu2" ] ~lib () in
+  match rows with
+  | [ ("alu2", f) ] -> check_true "fraction in range" (f >= 0.0 && f <= 1.0)
+  | _ -> Alcotest.fail "expected one row"
+
+let pipeline_end_to_end_small () =
+  (* full pipeline on the smallest suite circuit at one alpha *)
+  let entry = Option.get (Benchgen.Iscas_like.find "alu2") in
+  let baseline =
+    Experiments.Pipeline.prepare ~lib (fun () -> entry.Benchgen.Iscas_like.build ~lib)
+  in
+  check_true "baseline sane"
+    (baseline.Experiments.Pipeline.moments.Numerics.Clark.mean > 0.0);
+  let r = Experiments.Pipeline.run_alpha ~lib baseline ~alpha:9.0 in
+  check_true "sigma reduced" (r.Experiments.Pipeline.sigma_change_pct < -10.0);
+  check_true "mean within 10%" (Float.abs r.Experiments.Pipeline.mean_change_pct < 10.0);
+  check_true "area increased" (r.Experiments.Pipeline.area_change_pct > 0.0);
+  (* the baseline circuit is untouched by the alpha run *)
+  let full = Ssta.Fullssta.run baseline.Experiments.Pipeline.circuit in
+  close ~tol:1e-9 "baseline circuit unchanged"
+    baseline.Experiments.Pipeline.moments.Numerics.Clark.mean
+    (Ssta.Fullssta.output_moments full).Numerics.Clark.mean
+
+let table1_row_small () =
+  let entry = Option.get (Benchgen.Iscas_like.find "alu2") in
+  let row = Experiments.Table1.run_circuit ~alphas:[ 3.0 ] ~lib entry in
+  Alcotest.(check string) "name" "alu2" row.Experiments.Table1.name;
+  check_true "gates counted" (row.Experiments.Table1.gates > 50);
+  check_true "original sigma/mean positive"
+    (row.Experiments.Table1.original_sigma_over_mean > 0.0);
+  match row.Experiments.Table1.runs with
+  | [ r ] ->
+      check_true "sigma reduced" (r.Experiments.Pipeline.sigma_change_pct < 0.0);
+      check_true "csv has rows"
+        (String.length (Experiments.Table1.to_csv [ row ]) > 100)
+  | _ -> Alcotest.fail "expected one run"
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "fig3",
+        [
+          Alcotest.test_case "reproduces the paper" `Quick fig3_reproduces_the_paper;
+          Alcotest.test_case "figure arrivals" `Quick fig3_arrivals_match_figure;
+        ] );
+      ( "approx",
+        [
+          Alcotest.test_case "erf report" `Quick approx_erf_report;
+          Alcotest.test_case "max report" `Quick approx_max_report;
+          Alcotest.test_case "cutoff study" `Quick approx_cutoff_study;
+        ] );
+      ( "pipeline",
+        [ Alcotest.test_case "end to end (alu2)" `Slow pipeline_end_to_end_small ] );
+      ( "table1",
+        [ Alcotest.test_case "single row (alu2)" `Slow table1_row_small ] );
+    ]

@@ -1,0 +1,268 @@
+(* Tests for the statistical timing engines: FULLSSTA, FASSTA, Monte Carlo,
+   and their mutual agreement. *)
+
+open Test_util
+
+let chain_circuit bits =
+  let bld = Netlist.Build.create ~lib ~name:"sschain" () in
+  let a = Netlist.Build.input bld ~name:"a" in
+  let rec go n prev = if n = 0 then prev else go (n - 1) (Netlist.Build.not_ bld prev) in
+  let last = go bits a in
+  ignore (Netlist.Build.output bld last);
+  Netlist.Build.finish bld
+
+(* ---- FULLSSTA ------------------------------------------------------------ *)
+
+let fullssta_single_gate_matches_model () =
+  let c = chain_circuit 1 in
+  let full = Ssta.Fullssta.run c in
+  let gate = List.hd (Netlist.Circuit.gates c) in
+  let e = Ssta.Fullssta.electrical full in
+  let d = (Sta.Electrical.arc_delays e gate).(0) in
+  let strength = Cells.Cell.strength (Netlist.Circuit.cell_exn c gate) in
+  let expected = Variation.Model.delay_moments Variation.Model.default ~delay:d ~strength in
+  let m = Ssta.Fullssta.moments full gate in
+  close ~tol:0.01 "single gate mean" expected.Numerics.Clark.mean m.Numerics.Clark.mean;
+  close ~tol:0.05 "single gate sigma" (Numerics.Clark.sigma expected)
+    (Numerics.Clark.sigma m)
+
+let fullssta_chain_moments_add () =
+  (* a pure chain has no max: moments must be the sums of arc moments *)
+  let c = chain_circuit 8 in
+  let full = Ssta.Fullssta.run c in
+  let e = Ssta.Fullssta.electrical full in
+  let expected_mean, expected_var =
+    List.fold_left
+      (fun (mu, var) gate ->
+        let d = (Sta.Electrical.arc_delays e gate).(0) in
+        let strength = Cells.Cell.strength (Netlist.Circuit.cell_exn c gate) in
+        let mm = Variation.Model.delay_moments Variation.Model.default ~delay:d ~strength in
+        (mu +. mm.Numerics.Clark.mean, var +. mm.Numerics.Clark.var))
+      (0.0, 0.0) (Netlist.Circuit.gates c)
+  in
+  let out = Ssta.Fullssta.output_moments full in
+  close ~tol:0.01 "chain mean adds" expected_mean out.Numerics.Clark.mean;
+  close ~tol:0.05 "chain sigma adds" (Float.sqrt expected_var)
+    (Numerics.Clark.sigma out)
+
+let fullssta_vs_monte_carlo () =
+  let c = Benchgen.Alu.generate ~lib ~bits:6 () in
+  let _ = Core.Initial_sizing.apply ~lib c in
+  (* validate at a gentle variation scale, where the independence
+     assumption's reconvergence bias is small and real implementation bugs
+     would show; the bias at production scale is documented and studied in
+     EXPERIMENTS.md instead *)
+  let model = Variation.Model.create ~systematic:0.15 ~random_floor:0.3 () in
+  let full =
+    Ssta.Fullssta.run ~config:{ Ssta.Fullssta.default_config with model } c
+  in
+  let fm = Ssta.Fullssta.output_moments full in
+  let mc =
+    Ssta.Monte_carlo.run
+      ~config:{ Ssta.Monte_carlo.default_config with trials = 3000; model }
+      c
+  in
+  let ms = Ssta.Monte_carlo.circuit_stats mc in
+  close ~tol:0.02 "mean vs MC" (Numerics.Stats.mean ms) fm.Numerics.Clark.mean;
+  close ~tol:0.15 "sigma vs MC" (Numerics.Stats.std ms) (Numerics.Clark.sigma fm)
+
+let fullssta_yield_monotone () =
+  let c = Benchgen.Alu.generate ~lib ~bits:4 () in
+  let full = Ssta.Fullssta.run c in
+  let m = Ssta.Fullssta.output_moments full in
+  let mu = m.Numerics.Clark.mean in
+  let y1 = Ssta.Fullssta.yield_at full ~period:(mu *. 0.8) in
+  let y2 = Ssta.Fullssta.yield_at full ~period:mu in
+  let y3 = Ssta.Fullssta.yield_at full ~period:(mu *. 1.2) in
+  check_true "yield increases with period" (y1 <= y2 && y2 <= y3);
+  check_true "median yield near half" (y2 > 0.2 && y2 < 0.8);
+  close_abs ~tol:1e-9 "relaxed yield is 1" 1.0
+    (Ssta.Fullssta.yield_at full ~period:(mu *. 3.0))
+
+let fullssta_samples_config () =
+  let c = Benchgen.Alu.generate ~lib ~bits:4 () in
+  let coarse =
+    Ssta.Fullssta.run
+      ~config:{ Ssta.Fullssta.default_config with samples = 6 } c
+  in
+  let fine =
+    Ssta.Fullssta.run
+      ~config:{ Ssta.Fullssta.default_config with samples = 20 } c
+  in
+  let mc = Ssta.Fullssta.output_moments coarse in
+  let mf = Ssta.Fullssta.output_moments fine in
+  (* both resolutions agree on the mean to within a fraction of a percent *)
+  close ~tol:0.02 "resolutions agree" mf.Numerics.Clark.mean mc.Numerics.Clark.mean
+
+(* ---- FASSTA --------------------------------------------------------------- *)
+
+let fassta_chain_is_exact () =
+  let c = chain_circuit 10 in
+  let fast = Ssta.Fassta.run c in
+  let full = Ssta.Fullssta.run c in
+  let out_fast = Ssta.Fassta.output_moments c fast in
+  let out_full = Ssta.Fullssta.output_moments full in
+  (* no max operations on a chain: both engines must agree tightly *)
+  close ~tol:0.01 "chain mean" out_full.Numerics.Clark.mean out_fast.Numerics.Clark.mean;
+  close ~tol:0.05 "chain sigma" (Numerics.Clark.sigma out_full)
+    (Numerics.Clark.sigma out_fast)
+
+let fassta_cutoff_stats_counted () =
+  let c = Benchgen.Alu.generate ~lib ~bits:6 () in
+  let stats = Ssta.Fassta.make_stats () in
+  let _ = Ssta.Fassta.run ~stats c in
+  check_true "some maxes evaluated" (stats.Ssta.Fassta.cutoff_hits + stats.Ssta.Fassta.blended > 0);
+  let f = Ssta.Fassta.cutoff_fraction stats in
+  check_true "fraction in [0,1]" (f >= 0.0 && f <= 1.0)
+
+let fassta_propagate_boundary () =
+  let c = tiny_circuit () in
+  let e = Sta.Electrical.compute c in
+  let n1 = Netlist.Circuit.find_exn c ~name:"n1" in
+  let n3 = Netlist.Circuit.find_exn c ~name:"n3" in
+  (* boundary puts n1's arrival far ahead: n3 must inherit it *)
+  let boundary id =
+    if id = n1 then moments ~mu:500.0 ~sigma:5.0 else moments ~mu:0.0 ~sigma:0.0
+  in
+  let table =
+    Ssta.Fassta.propagate ~model:Variation.Model.default ~circuit:c ~electrical:e
+      ~boundary [| n3 |]
+  in
+  let m = Hashtbl.find table n3 in
+  check_true "dominated by boundary arrival" (m.Numerics.Clark.mean > 500.0)
+
+let fassta_propagate_into_matches_run () =
+  let c = Benchgen.Adder.ripple_carry ~lib ~bits:5 () in
+  let fast = Ssta.Fassta.run c in
+  let e = Sta.Electrical.compute c in
+  let out = Array.make (Netlist.Circuit.size c) (moments ~mu:0.0 ~sigma:0.0) in
+  Ssta.Fassta.propagate_into ~model:Variation.Model.default ~circuit:c ~electrical:e out;
+  List.iter
+    (fun o ->
+      close ~tol:1e-9 "same mean" fast.(o).Numerics.Clark.mean out.(o).Numerics.Clark.mean;
+      close ~tol:1e-9 "same var" fast.(o).Numerics.Clark.var out.(o).Numerics.Clark.var)
+    (Netlist.Circuit.outputs c)
+
+let fassta_exact_tracks_quadratic () =
+  let c = Benchgen.Alu.generate ~lib ~bits:6 () in
+  let e = Sta.Electrical.compute c in
+  let n = Netlist.Circuit.size c in
+  let quad = Array.make n (moments ~mu:0.0 ~sigma:0.0) in
+  let exact = Array.make n (moments ~mu:0.0 ~sigma:0.0) in
+  Ssta.Fassta.propagate_into ~model:Variation.Model.default ~circuit:c ~electrical:e quad;
+  Ssta.Fassta.propagate_into ~exact:true ~model:Variation.Model.default ~circuit:c
+    ~electrical:e exact;
+  List.iter
+    (fun o ->
+      close ~tol:0.05 "means track" exact.(o).Numerics.Clark.mean
+        quad.(o).Numerics.Clark.mean)
+    (Netlist.Circuit.outputs c)
+
+(* ---- Monte Carlo ---------------------------------------------------------- *)
+
+let mc_deterministic_by_seed () =
+  let c = Benchgen.Adder.ripple_carry ~lib ~bits:4 () in
+  let cfg = { Ssta.Monte_carlo.default_config with trials = 50; seed = 123 } in
+  let r1 = Ssta.Monte_carlo.run ~config:cfg c in
+  let r2 = Ssta.Monte_carlo.run ~config:cfg c in
+  Alcotest.(check (array (float 1e-12)))
+    "same samples" r1.Ssta.Monte_carlo.circuit_delay r2.Ssta.Monte_carlo.circuit_delay
+
+let mc_yield_bounds () =
+  let c = Benchgen.Adder.ripple_carry ~lib ~bits:4 () in
+  let r =
+    Ssta.Monte_carlo.run ~config:{ Ssta.Monte_carlo.default_config with trials = 200 } c
+  in
+  close_abs ~tol:0.0 "yield 0 at tiny period" 0.0 (Ssta.Monte_carlo.yield_at r ~period:0.0);
+  close_abs ~tol:0.0 "yield 1 at huge period" 1.0
+    (Ssta.Monte_carlo.yield_at r ~period:1e9);
+  let q10 = Ssta.Monte_carlo.quantile r 0.1 in
+  let q90 = Ssta.Monte_carlo.quantile r 0.9 in
+  check_true "quantiles ordered" (q10 <= q90)
+
+let mc_per_output_recorded () =
+  let c = tiny_circuit () in
+  let r =
+    Ssta.Monte_carlo.run ~config:{ Ssta.Monte_carlo.default_config with trials = 100 } c
+  in
+  let o = List.hd (Netlist.Circuit.outputs c) in
+  match Ssta.Monte_carlo.output_stats r o with
+  | Some s -> check_int "all trials" 100 (Numerics.Stats.count s)
+  | None -> Alcotest.fail "missing per-output stats"
+
+let mc_per_gate_sharing_increases_sigma () =
+  let c = Benchgen.Ecc.hamming_corrector ~lib ~data_bits:11 () in
+  let base = { Ssta.Monte_carlo.default_config with trials = 1500 } in
+  let arc = Ssta.Monte_carlo.run ~config:base c in
+  let gate =
+    Ssta.Monte_carlo.run
+      ~config:{ base with sharing = Ssta.Monte_carlo.Per_gate } c
+  in
+  let s_arc = Numerics.Stats.std (Ssta.Monte_carlo.circuit_stats arc) in
+  let s_gate = Numerics.Stats.std (Ssta.Monte_carlo.circuit_stats gate) in
+  check_true "within-gate correlation does not reduce sigma" (s_gate > 0.8 *. s_arc)
+
+let mc_global_correlation_widens () =
+  let c = Benchgen.Adder.ripple_carry ~lib ~bits:8 () in
+  let base = { Ssta.Monte_carlo.default_config with trials = 1500 } in
+  let indep = Ssta.Monte_carlo.run ~config:base c in
+  let corr =
+    Ssta.Monte_carlo.run
+      ~config:
+        { base with structure = Variation.Correlated.create ~global_share:0.7 () }
+      c
+  in
+  check_true "die-to-die factor widens the distribution"
+    (Numerics.Stats.std (Ssta.Monte_carlo.circuit_stats corr)
+    > Numerics.Stats.std (Ssta.Monte_carlo.circuit_stats indep))
+
+(* ---- Compare --------------------------------------------------------------- *)
+
+let compare_reports () =
+  let c = Benchgen.Adder.ripple_carry ~lib ~bits:4 () in
+  let `Full full_r, `Fast fast_r =
+    Ssta.Compare.engines_vs_monte_carlo
+      ~mc_config:{ Ssta.Monte_carlo.default_config with trials = 800 }
+      c
+  in
+  check_true "full report has outputs"
+    (List.length full_r.Ssta.Compare.per_output = 5);
+  check_true "fast report has outputs"
+    (List.length fast_r.Ssta.Compare.per_output = 5);
+  check_true "full engine mean within 5%" (full_r.Ssta.Compare.worst_mean_rel_err < 0.05);
+  check_true "fast engine mean within 8%" (fast_r.Ssta.Compare.worst_mean_rel_err < 0.08)
+
+let () =
+  Alcotest.run "ssta"
+    [
+      ( "fullssta",
+        [
+          Alcotest.test_case "single gate" `Quick fullssta_single_gate_matches_model;
+          Alcotest.test_case "chain moments add" `Quick fullssta_chain_moments_add;
+          Alcotest.test_case "vs monte carlo" `Quick fullssta_vs_monte_carlo;
+          Alcotest.test_case "yield monotone" `Quick fullssta_yield_monotone;
+          Alcotest.test_case "sampling resolutions agree" `Quick
+            fullssta_samples_config;
+        ] );
+      ( "fassta",
+        [
+          Alcotest.test_case "chain is exact" `Quick fassta_chain_is_exact;
+          Alcotest.test_case "cutoff stats" `Quick fassta_cutoff_stats_counted;
+          Alcotest.test_case "boundary propagation" `Quick fassta_propagate_boundary;
+          Alcotest.test_case "propagate_into matches run" `Quick
+            fassta_propagate_into_matches_run;
+          Alcotest.test_case "exact tracks quadratic" `Quick
+            fassta_exact_tracks_quadratic;
+        ] );
+      ( "monte_carlo",
+        [
+          Alcotest.test_case "deterministic" `Quick mc_deterministic_by_seed;
+          Alcotest.test_case "yield bounds" `Quick mc_yield_bounds;
+          Alcotest.test_case "per-output stats" `Quick mc_per_output_recorded;
+          Alcotest.test_case "per-gate sharing" `Quick
+            mc_per_gate_sharing_increases_sigma;
+          Alcotest.test_case "global correlation widens" `Quick
+            mc_global_correlation_widens;
+        ] );
+      ("compare", [ Alcotest.test_case "reports" `Quick compare_reports ]);
+    ]

@@ -1,0 +1,138 @@
+(* Unit tests for the variation model and correlated draws. *)
+
+open Test_util
+
+let model_sigma_shrinks_with_strength () =
+  let m = Variation.Model.default in
+  let s1 = Variation.Model.sigma m ~delay:30.0 ~strength:1.0 in
+  let s4 = Variation.Model.sigma m ~delay:30.0 ~strength:4.0 in
+  let s16 = Variation.Model.sigma m ~delay:30.0 ~strength:16.0 in
+  check_true "sigma(1) > sigma(4)" (s1 > s4);
+  check_true "sigma(4) > sigma(16)" (s4 > s16)
+
+let model_systematic_inverse_linear () =
+  (* default size exponent 1: the paper's "inversely proportional to their
+     dimensions" *)
+  let m = Variation.Model.default in
+  let s1 = Variation.Model.systematic_sigma m ~delay:30.0 ~strength:1.0 in
+  let s4 = Variation.Model.systematic_sigma m ~delay:30.0 ~strength:4.0 in
+  close ~tol:1e-9 "1/s scaling" (s1 /. 4.0) s4
+
+let model_sigma_grows_with_delay () =
+  let m = Variation.Model.default in
+  check_true "more delay, more sigma"
+    (Variation.Model.sigma m ~delay:60.0 ~strength:2.0
+    > Variation.Model.sigma m ~delay:20.0 ~strength:2.0)
+
+let model_floor_is_absolute () =
+  let m = Variation.Model.default in
+  let huge = Variation.Model.sigma m ~delay:0.0 ~strength:16.0 in
+  close ~tol:1e-9 "floor remains at zero delay" (Variation.Model.random_sigma m) huge;
+  check_true "floor positive" (Variation.Model.random_sigma m > 0.0)
+
+let model_custom_exponent () =
+  let m = Variation.Model.create ~size_exponent:0.5 () in
+  let s1 = Variation.Model.systematic_sigma m ~delay:30.0 ~strength:1.0 in
+  let s4 = Variation.Model.systematic_sigma m ~delay:30.0 ~strength:4.0 in
+  close ~tol:1e-9 "1/sqrt(s) scaling" (s1 /. 2.0) s4
+
+let model_delay_moments () =
+  let m = Variation.Model.default in
+  let mm = Variation.Model.delay_moments m ~delay:25.0 ~strength:2.0 in
+  close "mean is delay" 25.0 mm.Numerics.Clark.mean;
+  close ~tol:1e-9 "var is sigma squared"
+    (Variation.Model.sigma m ~delay:25.0 ~strength:2.0)
+    (Numerics.Clark.sigma mm)
+
+let model_coupling () =
+  let m = Variation.Model.create ~systematic:0.4 () in
+  close "coupling = k_sys" 0.4 (Variation.Model.coupling m)
+
+let model_rejects_negative () =
+  try
+    ignore (Variation.Model.create ~systematic:(-0.1) ());
+    Alcotest.fail "expected rejection"
+  with Invalid_argument _ -> ()
+
+(* ---- Correlated ---------------------------------------------------------- *)
+
+let correlated_validation () =
+  (try
+     ignore (Variation.Correlated.create ~global_share:0.8 ~regional_share:0.5 ());
+     Alcotest.fail "shares above 1 accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Variation.Correlated.create ~regions:0 ());
+    Alcotest.fail "zero regions accepted"
+  with Invalid_argument _ -> ()
+
+let correlated_independent_draws () =
+  let rng = Numerics.Rng.create ~seed:2 in
+  let stats = Numerics.Stats.create () in
+  for _ = 1 to 500 do
+    let z = Variation.Correlated.draw Variation.Correlated.independent rng ~count:20 in
+    Array.iter (Numerics.Stats.add stats) z
+  done;
+  close_abs ~tol:0.03 "mean 0" 0.0 (Numerics.Stats.mean stats);
+  close ~tol:0.03 "sigma 1" 1.0 (Numerics.Stats.std stats)
+
+let correlated_global_share_correlates () =
+  let structure = Variation.Correlated.create ~global_share:0.6 () in
+  let rng = Numerics.Rng.create ~seed:4 in
+  (* empirical correlation between two gates across many dies *)
+  let n = 4000 in
+  let xs = Array.make n 0.0 and ys = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    let z = Variation.Correlated.draw structure rng ~count:2 in
+    xs.(i) <- z.(0);
+    ys.(i) <- z.(1)
+  done;
+  let mean a = Array.fold_left ( +. ) 0.0 a /. float_of_int n in
+  let mx = mean xs and my = mean ys in
+  let cov = ref 0.0 and vx = ref 0.0 and vy = ref 0.0 in
+  for i = 0 to n - 1 do
+    cov := !cov +. ((xs.(i) -. mx) *. (ys.(i) -. my));
+    vx := !vx +. ((xs.(i) -. mx) ** 2.0);
+    vy := !vy +. ((ys.(i) -. my) ** 2.0)
+  done;
+  let rho = !cov /. Float.sqrt (!vx *. !vy) in
+  close_abs ~tol:0.06 "empirical correlation ~ share" 0.6 rho;
+  close ~tol:1e-9 "implied correlation" 0.6
+    (Variation.Correlated.correlation structure ~gate_a:0 ~gate_b:1)
+
+let correlated_regional () =
+  let structure = Variation.Correlated.create ~regional_share:0.5 ~regions:4 () in
+  close ~tol:1e-9 "same region" 0.5
+    (Variation.Correlated.correlation structure ~gate_a:0 ~gate_b:4);
+  close_abs ~tol:1e-9 "different region" 0.0
+    (Variation.Correlated.correlation structure ~gate_a:0 ~gate_b:1);
+  close ~tol:1e-9 "self" 1.0
+    (Variation.Correlated.correlation structure ~gate_a:3 ~gate_b:3);
+  close ~tol:1e-9 "residual" 0.5 (Variation.Correlated.residual_share structure)
+
+let () =
+  Alcotest.run "variation"
+    [
+      ( "model",
+        [
+          Alcotest.test_case "sigma shrinks with strength" `Quick
+            model_sigma_shrinks_with_strength;
+          Alcotest.test_case "1/s systematic scaling" `Quick
+            model_systematic_inverse_linear;
+          Alcotest.test_case "sigma grows with delay" `Quick
+            model_sigma_grows_with_delay;
+          Alcotest.test_case "absolute floor" `Quick model_floor_is_absolute;
+          Alcotest.test_case "custom exponent" `Quick model_custom_exponent;
+          Alcotest.test_case "delay moments" `Quick model_delay_moments;
+          Alcotest.test_case "coupling" `Quick model_coupling;
+          Alcotest.test_case "rejects negatives" `Quick model_rejects_negative;
+        ] );
+      ( "correlated",
+        [
+          Alcotest.test_case "validation" `Quick correlated_validation;
+          Alcotest.test_case "independent draws" `Quick correlated_independent_draws;
+          Alcotest.test_case "global share correlates" `Quick
+            correlated_global_share_correlates;
+          Alcotest.test_case "regional structure" `Quick correlated_regional;
+        ] );
+    ]

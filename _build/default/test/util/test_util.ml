@@ -1,0 +1,44 @@
+(* Shared helpers for the test suites. *)
+
+let lib = Lazy.force Cells.Library.default
+
+(* Relative/absolute closeness check with a readable failure message. *)
+let close ?(tol = 1e-9) msg expected actual =
+  let scale = Float.max 1.0 (Float.abs expected) in
+  if Float.abs (expected -. actual) > tol *. scale then
+    Alcotest.failf "%s: expected %.8g, got %.8g (tol %g)" msg expected actual tol
+
+let close_abs ?(tol = 1e-9) msg expected actual =
+  if Float.abs (expected -. actual) > tol then
+    Alcotest.failf "%s: expected %.8g, got %.8g (abs tol %g)" msg expected actual
+      tol
+
+let check_true msg b = Alcotest.(check bool) msg true b
+let check_int = Alcotest.(check int)
+
+(* A tiny hand-built circuit used across netlist/sta tests:
+
+     a ----\
+            AND2 (n1) ---\
+     b ----/              OR2 (n3) --> out
+     c --- INV (n2) -----/
+*)
+let tiny_circuit () =
+  let bld = Netlist.Build.create ~lib ~name:"tiny" () in
+  let a = Netlist.Build.input bld ~name:"a" in
+  let b = Netlist.Build.input bld ~name:"b" in
+  let c = Netlist.Build.input bld ~name:"c" in
+  let n1 = Netlist.Build.and_ ~name:"n1" bld [ a; b ] in
+  let n2 = Netlist.Build.not_ ~name:"n2" bld c in
+  let n3 = Netlist.Build.or_ ~name:"n3" bld [ n1; n2 ] in
+  ignore (Netlist.Build.output bld n3);
+  Netlist.Build.finish bld
+
+(* Little-endian named input vector helpers. *)
+let bits_of_int ~prefix ~width v =
+  List.init width (fun i -> (Printf.sprintf "%s%d" prefix i, v land (1 lsl i) <> 0))
+
+let qcheck ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+let moments ~mu ~sigma = Numerics.Clark.moments ~mean:mu ~var:(sigma *. sigma)
