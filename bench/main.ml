@@ -125,6 +125,12 @@ let micro_tests () =
       (Staged.stage (fun () ->
            let full = Ssta.Fullssta.run c432 in
            ignore (Core.Wnss.trace ~model:Variation.Model.default c432 full)));
+    (* the sizer's preflight gate: full lint (circuit+library+model) cost *)
+    Test.make ~name:"lint_check_all_c432"
+      (Staged.stage (fun () -> ignore (Lint.Engine.check_all ~lib c432)));
+    Test.make ~name:"bench_io_lint_c432"
+      (Staged.stage (fun () ->
+           ignore (Netlist.Bench_io.lint (Netlist.Bench_io.to_string c432))));
   ]
 
 let run_micro () =

@@ -368,10 +368,113 @@ let dot_cmd =
     (Cmd.info "dot" ~doc:"Graphviz export with the WNSS cone highlighted")
     Term.(const run $ circuit_arg $ path_arg)
 
+let lint_cmd =
+  let targets_arg =
+    let doc = "Circuits to lint: suite names or .bench files. With no \
+               targets, only the library and variation model are checked." in
+    Arg.(value & pos_all string [] & info [] ~docv:"CIRCUIT" ~doc)
+  in
+  let all_arg =
+    Arg.(value & flag
+         & info [ "all" ] ~doc:"Also lint every built-in suite circuit.")
+  in
+  let format_arg =
+    Arg.(value
+         & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+         & info [ "format" ] ~doc:"Output format: $(b,text) or $(b,json).")
+  in
+  let strict_arg =
+    Arg.(value & flag
+         & info [ "strict" ] ~doc:"Exit 3 when warnings are present (errors \
+                                   always exit 1).")
+  in
+  let disable_arg =
+    Arg.(value & opt (list string) []
+         & info [ "disable" ] ~doc:"Comma-separated rule codes to disable.")
+  in
+  let severity_arg =
+    Arg.(value & opt (list string) []
+         & info [ "severity" ]
+             ~doc:"Comma-separated severity overrides, e.g. \
+                   CIRC007=error,LIB002=info.")
+  in
+  let liberty_arg =
+    Arg.(value & opt (some file) None
+         & info [ "liberty" ] ~docv:"FILE"
+             ~doc:"Lint this liberty-like library dump instead of the \
+                   generated default.")
+  in
+  (* Usage problems exit 2 with a plain message so CI can tell "you called
+     it wrong" (2) apart from "the design is bad" (1/3). *)
+  let die fmt = Fmt.kstr (fun m -> Fmt.epr "statsize lint: %s@." m; exit 2) fmt in
+  let run targets all format strict disable overrides liberty =
+    let registry =
+      match Lint.Registry.of_spec ~disable ~overrides () with
+      | Ok r -> r
+      | Error msg -> die "--disable/--severity: %s" msg
+    in
+    let model = Variation.Model.default in
+    let lib =
+      match liberty with
+      | None -> lib
+      | Some path -> Cells.Liberty.load ~path
+    in
+    let targets =
+      targets @ if all then Benchgen.Iscas_like.names else []
+    in
+    let lint_target name =
+      if Sys.file_exists name then begin
+        (* .bench file: permissive parse diagnostics first; only run the
+           circuit rules when the file maps cleanly. *)
+        let file_diags = Netlist.Bench_io.lint_file ~path:name in
+        if Diag.has_errors file_diags then file_diags
+        else
+          file_diags
+          @ Lint.Engine.check_circuit ~lib
+              (Netlist.Bench_io.load ~validate:false ~lib ~path:name ())
+      end
+      else
+        match Benchgen.Iscas_like.find name with
+        | Some entry ->
+            Lint.Engine.check_circuit ~lib (entry.Benchgen.Iscas_like.build ~lib)
+        | None ->
+            die "unknown circuit %s (try `statsize list` or a .bench path)"
+              name
+    in
+    let results =
+      ( "library+model",
+        Lint.Engine.check_library lib @ Lint.Engine.check_model model )
+      :: List.map (fun t -> (t, lint_target t)) targets
+    in
+    let results =
+      List.map (fun (t, ds) -> (t, Lint.Registry.apply registry ds)) results
+    in
+    (match format with
+    | `Json -> print_endline (Lint.Report.to_json results)
+    | `Text ->
+        List.iter
+          (fun (t, ds) -> Fmt.pr "%s:@.%a" t Lint.Report.pp ds)
+          results);
+    exit (Lint.Report.exit_code ~strict (List.concat_map snd results))
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Typed diagnostics for circuits, the library, and SSTA invariants"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P "Runs the circuit, library, and statistical rule packs and \
+               prints coded findings (CIRC*/LIB*/STAT*/BENCH*). Exit codes: \
+               0 clean or warnings, 1 errors, 2 usage errors, 3 warnings \
+               with $(b,--strict).";
+         ])
+    Term.(const run $ targets_arg $ all_arg $ format_arg $ strict_arg
+          $ disable_arg $ severity_arg $ liberty_arg)
+
 let main =
   let doc = "statistical gate sizing for process-variation tolerance" in
   Cmd.group (Cmd.info "statsize" ~doc)
-    [ list_cmd; info_cmd; analyze_cmd; optimize_cmd; paths_cmd; slack_cmd;
+    [ list_cmd; info_cmd; lint_cmd; analyze_cmd; optimize_cmd; paths_cmd; slack_cmd;
       pca_cmd; rank_cmd; dot_cmd; table1_cmd; fig1_cmd; fig3_cmd; fig4_cmd;
       approx_cmd; ablation_cmd; export_cmd; verilog_cmd; sdf_cmd; power_cmd;
       liberty_cmd ]

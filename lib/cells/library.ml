@@ -23,6 +23,11 @@ let functions t = List.map fst t.groups
 let cell_count t =
   List.fold_left (fun acc (_, cs) -> acc + Array.length cs) 0 t.groups
 
+let iter_cells t ~f = List.iter (fun (_, cs) -> Array.iter f cs) t.groups
+
+let cells t =
+  List.concat_map (fun (_, cs) -> Array.to_list cs) t.groups
+
 let sizes_of_fn t fn =
   match List.assoc_opt fn t.groups with
   | Some cells -> cells

@@ -14,6 +14,11 @@ val strengths : t -> float array
 val functions : t -> Fn.t list
 val cell_count : t -> int
 
+val iter_cells : t -> f:(Cell.t -> unit) -> unit
+(** Every cell, grouped by function, ascending drive within a group. *)
+
+val cells : t -> Cell.t list
+
 val sizes_of_fn : t -> Fn.t -> Cell.t array
 (** All drive variants of a function, ascending by strength; raises
     [Invalid_argument] when the function is not in the library. *)

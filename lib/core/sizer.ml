@@ -172,7 +172,19 @@ let run_iteration config ~lib circuit full stats_acc =
       snd !stats_acc + w_stats.Ssta.Fassta.blended );
   (List.rev_append !pending !applied, List.length path)
 
-let optimize ?(config = default_config) ~lib circuit =
+let optimize ?(ignore_lint = false) ?(config = default_config) ~lib circuit =
+  (* Preflight: refuse garbage inputs before the first FULLSSTA. Errors
+     raise Lint.Preflight.Rejected (unless the caller opted out); warnings
+     are logged and the run proceeds. *)
+  let findings =
+    Lint.Preflight.gate ~ignore_lint ~model:config.model ~lib circuit
+  in
+  List.iter
+    (fun d ->
+      if d.Diag.severity <> Diag.Severity.Error then
+        Log.warn (fun m -> m "preflight: %a" Diag.pp d))
+    findings;
+  Lint.Extrapolation.reset lib;
   let started = Sys.time () in
   let full_cfg = fullssta_config config in
   let stats_acc = ref (0, 0) in
@@ -254,6 +266,11 @@ let optimize ?(config = default_config) ~lib circuit =
   let stop_reason, history, total_resizes = loop 0 full0 0 [] 0 in
   restore !best_cells;
   let final_full = Ssta.Fullssta.run ~config:full_cfg circuit in
+  (* Clamp-and-warn (LIB007): report, once per cell, every table that was
+     queried outside its characterized grid during this run. *)
+  List.iter
+    (fun d -> Log.warn (fun m -> m "%a" Diag.pp d))
+    (Lint.Extrapolation.collect lib);
   let cutoff_hits, blended = !stats_acc in
   {
     config;

@@ -64,7 +64,17 @@ type result = {
   runtime_s : float;
 }
 
-val optimize : ?config:config -> lib:Cells.Library.t -> Netlist.Circuit.t -> result
+val optimize :
+  ?ignore_lint:bool ->
+  ?config:config ->
+  lib:Cells.Library.t ->
+  Netlist.Circuit.t ->
+  result
+(** Runs a lint preflight first ({!Lint.Preflight.gate} over circuit,
+    library, and variation model): Error-level findings raise
+    {!Lint.Preflight.Rejected} unless [ignore_lint] is set; warnings are
+    logged. After the run, LUT extrapolation observed during sizing is
+    logged once per cell (LIB007). *)
 
 val mean_change_pct :
   original:Numerics.Clark.moments -> optimized:result -> float

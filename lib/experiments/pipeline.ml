@@ -18,11 +18,12 @@ type baseline = {
 let sigma_over_mean (m : Numerics.Clark.moments) =
   Numerics.Clark.sigma m /. m.Numerics.Clark.mean
 
-let prepare ?(mean_config = Core.Sizer.mean_delay_config) ~lib build =
+let prepare ?(ignore_lint = false) ?(mean_config = Core.Sizer.mean_delay_config)
+    ~lib build =
   let started = Sys.time () in
   let circuit = build () in
   let _ = Core.Initial_sizing.apply ~lib circuit in
-  let _ = Core.Sizer.optimize ~config:mean_config ~lib circuit in
+  let _ = Core.Sizer.optimize ~ignore_lint ~config:mean_config ~lib circuit in
   let full = Ssta.Fullssta.run circuit in
   {
     circuit;
@@ -46,13 +47,13 @@ type stat_run = {
   runtime_s : float;
 }
 
-let run_alpha ?(recover = true) ?(config = Core.Sizer.default_config) ~lib
-    (baseline : baseline) ~alpha =
+let run_alpha ?(ignore_lint = false) ?(recover = true)
+    ?(config = Core.Sizer.default_config) ~lib (baseline : baseline) ~alpha =
   let started = Sys.time () in
   let circuit = Netlist.Circuit.copy baseline.circuit in
   let objective = Core.Objective.create ~alpha in
   let config = { config with Core.Sizer.objective } in
-  let res = Core.Sizer.optimize ~config ~lib circuit in
+  let res = Core.Sizer.optimize ~ignore_lint ~config ~lib circuit in
   if recover then begin
     let rcfg =
       { Core.Area_recovery.default_config with objective; model = config.model }

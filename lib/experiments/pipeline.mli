@@ -13,10 +13,13 @@ type baseline = {
 val sigma_over_mean : Numerics.Clark.moments -> float
 
 val prepare :
+  ?ignore_lint:bool ->
   ?mean_config:Core.Sizer.config ->
   lib:Cells.Library.t ->
   (unit -> Netlist.Circuit.t) ->
   baseline
+(** The sizer's lint preflight applies: Error-level findings raise
+    {!Lint.Preflight.Rejected} unless [ignore_lint] is set. *)
 
 type stat_run = {
   alpha : float;
@@ -33,6 +36,7 @@ type stat_run = {
 }
 
 val run_alpha :
+  ?ignore_lint:bool ->
   ?recover:bool ->
   ?config:Core.Sizer.config ->
   lib:Cells.Library.t ->

@@ -1,0 +1,90 @@
+(* Circuit rule pack.
+
+   Structure first (delegated to Circuit.validate_diag — the checks live
+   with the data structure), then whole-graph reachability, then the
+   electrical-range rules that need cell tables: a gate whose output load
+   falls outside its delay LUT will be silently clamp-extrapolated by every
+   timing query, which is exactly the kind of quiet garbage the lint layer
+   exists to surface before a 10k-iteration sizing loop consumes it. *)
+
+module C = Netlist.Circuit
+
+(* Gates (not inputs) from which no primary output is reachable. Dangling
+   gates are excluded — they are already CIRC004. *)
+let unreachable_diags circuit =
+  let n = C.size circuit in
+  let reaches = Array.make n false in
+  let rec mark id =
+    if not reaches.(id) then begin
+      reaches.(id) <- true;
+      Array.iter mark (C.fanins circuit id)
+    end
+  in
+  List.iter mark (C.outputs circuit);
+  List.filter_map
+    (fun id ->
+      if reaches.(id) || C.is_input circuit id then None
+      else if C.fanouts circuit id = [] then None (* dangling: CIRC004 *)
+      else
+        Some
+          (Diag.warningf ~code:"CIRC005"
+             ~loc:(Diag.Gate (C.node_name circuit id))
+             ~hint:"remove the cone or mark one of its sinks as an output"
+             "gate %S cannot reach any primary output"
+             (C.node_name circuit id)))
+    (C.topological circuit)
+
+let load_diags ?lib circuit =
+  List.filter_map
+    (fun id ->
+      match C.cell circuit id with
+      | None -> None
+      | Some cell ->
+          let load = C.load circuit id in
+          let name = C.node_name circuit id in
+          let table_max lut =
+            let cols = Numerics.Lut.cols lut in
+            cols.(Array.length cols - 1)
+          in
+          let table_min lut = (Numerics.Lut.cols lut).(0) in
+          let delay_lut = cell.Cells.Cell.delay in
+          let beyond_library =
+            match lib with
+            | None -> None
+            | Some lib ->
+                let strongest =
+                  Cells.Library.max_cell lib ~fn:(Cells.Cell.fn cell)
+                in
+                let cap = table_max strongest.Cells.Cell.delay in
+                if load > cap then
+                  Some
+                    (Diag.warningf ~code:"CIRC006" ~loc:(Diag.Gate name)
+                       ~hint:"split the fanout or buffer the net"
+                       "gate %S drives %.1f fF but even %s's table ends at \
+                        %.1f fF"
+                       name load
+                       (Cells.Cell.name strongest)
+                       cap)
+                else None
+          in
+          (match beyond_library with
+          | Some _ as d -> d
+          | None ->
+              if load > table_max delay_lut then
+                Some
+                  (Diag.warningf ~code:"CIRC007" ~loc:(Diag.Gate name)
+                     ~hint:"upsize the driver or buffer the net"
+                     "gate %S load %.1f fF is above cell %s's table max %.1f \
+                      fF (delay would extrapolate)"
+                     name load (Cells.Cell.name cell) (table_max delay_lut))
+              else if load < table_min delay_lut then
+                Some
+                  (Diag.warningf ~code:"CIRC007" ~loc:(Diag.Gate name)
+                     "gate %S load %.2f fF is below cell %s's table min %.2f \
+                      fF (delay would extrapolate)"
+                     name load (Cells.Cell.name cell) (table_min delay_lut))
+              else None))
+    (C.gates circuit)
+
+let check ?lib circuit =
+  C.validate_diag circuit @ unreachable_diags circuit @ load_diags ?lib circuit

@@ -1,0 +1,7 @@
+(** The circuit rule pack (CIRC001–CIRC010): structural diagnostics from
+    {!Netlist.Circuit.validate_diag} plus reachability and electrical-range
+    checks. Pass [lib] to enable CIRC006 (load beyond any available drive
+    strength for the gate's function). *)
+
+val check : ?lib:Cells.Library.t -> Netlist.Circuit.t -> Diag.t list
+(** Unsorted, at catalogue default severities (the registry sorts/filters). *)

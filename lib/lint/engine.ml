@@ -1,0 +1,18 @@
+(* Pack orchestration. Rule packs emit at catalogue defaults; the registry
+   is the single place findings get filtered, re-levelled and sorted. *)
+
+let check_circuit ?(registry = Registry.default) ?lib circuit =
+  Registry.apply registry (Circuit_rules.check ?lib circuit)
+
+let check_library ?(registry = Registry.default) lib =
+  Registry.apply registry (Library_rules.check lib)
+
+let check_model ?(registry = Registry.default) model =
+  Registry.apply registry (Stat_rules.check_model model)
+
+let check_all ?(registry = Registry.default) ?(model = Variation.Model.default)
+    ~lib circuit =
+  Registry.apply registry
+    (Circuit_rules.check ~lib circuit
+    @ Library_rules.check lib
+    @ Stat_rules.check_model model)

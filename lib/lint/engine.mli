@@ -1,0 +1,18 @@
+(** Rule-pack orchestration: run packs against a circuit, a library, and a
+    variation model, with the registry applied to every result. *)
+
+val check_circuit :
+  ?registry:Registry.t -> ?lib:Cells.Library.t -> Netlist.Circuit.t -> Diag.t list
+
+val check_library : ?registry:Registry.t -> Cells.Library.t -> Diag.t list
+
+val check_model : ?registry:Registry.t -> Variation.Model.t -> Diag.t list
+
+val check_all :
+  ?registry:Registry.t ->
+  ?model:Variation.Model.t ->
+  lib:Cells.Library.t ->
+  Netlist.Circuit.t ->
+  Diag.t list
+(** Circuit + library + model packs in one sorted list — what the sizer's
+    preflight gate runs. [model] defaults to {!Variation.Model.default}. *)

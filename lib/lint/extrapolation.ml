@@ -1,0 +1,39 @@
+(* Clamp-and-warn: interpolation outside the characterized grid still clamps
+   (the conservative-corners behavior timing tools expect) but is no longer
+   silent — the counters Lut.query maintains surface here as one LIB007
+   diagnostic per cell. *)
+
+let tables (c : Cells.Cell.t) =
+  [ ("delay", c.Cells.Cell.delay); ("output_slew", c.Cells.Cell.output_slew) ]
+
+let reset lib =
+  Cells.Library.iter_cells lib ~f:(fun c ->
+      List.iter (fun (_, lut) -> Numerics.Lut.reset_oob lut) (tables c))
+
+let collect lib =
+  List.concat_map
+    (fun c ->
+      let counts =
+        List.filter_map
+          (fun (table, lut) ->
+            let n = Numerics.Lut.oob_count lut in
+            if n > 0 then Some (table, n) else None)
+          (tables c)
+      in
+      match counts with
+      | [] -> []
+      | (table, _) :: _ ->
+          let total = List.fold_left (fun acc (_, n) -> acc + n) 0 counts in
+          [
+            Diag.warningf ~code:"LIB007"
+              ~loc:(Diag.Lut { cell = Cells.Cell.name c; table })
+              ~hint:"widen the characterization grid or keep loads/slews in \
+                     range"
+              "cell %s: %d quer%s outside the table were clamp-extrapolated \
+               (%s)"
+              (Cells.Cell.name c) total
+              (if total = 1 then "y" else "ies")
+              (String.concat ", "
+                 (List.map (fun (t, n) -> Printf.sprintf "%s: %d" t n) counts));
+          ])
+    (Cells.Library.cells lib)

@@ -1,0 +1,10 @@
+(** Runtime LUT-extrapolation monitor (LIB007). {!Numerics.Lut} counts every
+    query clamped to a table edge; this module turns those counters into one
+    diagnostic per cell. Reset before a run, collect after. *)
+
+val reset : Cells.Library.t -> unit
+(** Zero the out-of-bounds counters of every table in the library. *)
+
+val collect : Cells.Library.t -> Diag.t list
+(** One LIB007 Warning per cell whose delay or slew table clamped at least
+    one query since the last {!reset}; counters are left intact. *)

@@ -1,0 +1,145 @@
+(* Library rule pack.
+
+   The sizing engines trust the library blindly: delay gains are computed
+   from table differences, area recovery from the area ladder, load from
+   input caps. Each rule here protects one of those trusts. Monotonicity is
+   checked with a small epsilon so benign characterization noise on flat
+   tables does not fire. *)
+
+let eps = 1e-9
+
+(* First (row, col) where the table decreases along the given axis, if any.
+   [along_cols] checks each row left-to-right; otherwise each column
+   top-to-bottom. *)
+let non_monotone values ~along_cols =
+  let nr = Array.length values in
+  let nc = if nr = 0 then 0 else Array.length values.(0) in
+  let exception Found of int * int in
+  try
+    if along_cols then
+      for i = 0 to nr - 1 do
+        for j = 0 to nc - 2 do
+          if values.(i).(j + 1) +. eps < values.(i).(j) then raise (Found (i, j + 1))
+        done
+      done
+    else
+      for j = 0 to nc - 1 do
+        for i = 0 to nr - 2 do
+          if values.(i + 1).(j) +. eps < values.(i).(j) then raise (Found (i + 1, j))
+        done
+      done;
+    None
+  with Found (i, j) -> Some (i, j)
+
+let first_negative values =
+  let exception Found of int * int in
+  try
+    Array.iteri
+      (fun i row ->
+        Array.iteri (fun j v -> if v < 0.0 then raise (Found (i, j))) row)
+      values;
+    None
+  with Found (i, j) -> Some (i, j)
+
+let check_table ~cell ~table lut =
+  let loc = Diag.Lut { cell; table } in
+  let values = Numerics.Lut.values lut in
+  let monotone_load =
+    match non_monotone values ~along_cols:true with
+    | Some (i, j) ->
+        [
+          Diag.errorf ~code:"LIB001" ~loc
+            ~hint:"re-characterize the cell; timing tools assume delay grows \
+                   with load"
+            "%s table of %s decreases along the load axis at row %d, col %d"
+            table cell i j;
+        ]
+    | None -> []
+  in
+  let monotone_slew =
+    match non_monotone values ~along_cols:false with
+    | Some (i, j) ->
+        [
+          Diag.warningf ~code:"LIB002" ~loc
+            "%s table of %s decreases along the slew axis at row %d, col %d"
+            table cell i j;
+        ]
+    | None -> []
+  in
+  let sign =
+    match first_negative values with
+    | Some (i, j) ->
+        [
+          Diag.errorf ~code:"LIB003" ~loc
+            "%s table of %s has a negative entry %.3g at row %d, col %d" table
+            cell
+            values.(i).(j)
+            i j;
+        ]
+    | None -> []
+  in
+  monotone_load @ monotone_slew @ sign
+
+let check_cell (c : Cells.Cell.t) =
+  let name = Cells.Cell.name c in
+  let params =
+    (if Cells.Cell.input_cap c <= 0.0 then
+       [
+         Diag.errorf ~code:"LIB004" ~loc:(Diag.Cell name)
+           "cell %s has non-positive input cap %.3g" name (Cells.Cell.input_cap c);
+       ]
+     else [])
+    @
+    if Cells.Cell.area c <= 0.0 then
+      [
+        Diag.errorf ~code:"LIB004" ~loc:(Diag.Cell name)
+          "cell %s has non-positive area %.3g" name (Cells.Cell.area c);
+      ]
+    else []
+  in
+  check_table ~cell:name ~table:"delay" c.Cells.Cell.delay
+  @ check_table ~cell:name ~table:"output_slew" c.Cells.Cell.output_slew
+  @ params
+
+let check_group lib fn =
+  let cells = Cells.Library.sizes_of_fn lib fn in
+  let ladder = Cells.Library.strengths lib in
+  let fn_name = Cells.Fn.name fn in
+  let missing =
+    if Array.length cells < Array.length ladder then
+      [
+        Diag.warningf ~code:"LIB005" ~loc:(Diag.Cell fn_name)
+          ~hint:"the sizing ladder silently shrinks for this function"
+          "function %s has %d drive strengths; the library ladder has %d"
+          fn_name (Array.length cells) (Array.length ladder);
+      ]
+    else []
+  in
+  let areas_monotone =
+    let bad = ref None in
+    Array.iteri
+      (fun i c ->
+        if
+          i + 1 < Array.length cells
+          && Cells.Cell.area cells.(i + 1) +. eps < Cells.Cell.area c
+          && !bad = None
+        then bad := Some i)
+      cells;
+    match !bad with
+    | Some i ->
+        [
+          Diag.warningf ~code:"LIB006" ~loc:(Diag.Cell fn_name)
+            "function %s: area decreases from drive %d (%.2f) to drive %d \
+             (%.2f) despite growing strength"
+            fn_name i
+            (Cells.Cell.area cells.(i))
+            (i + 1)
+            (Cells.Cell.area cells.(i + 1));
+        ]
+    | None -> []
+  in
+  missing @ areas_monotone
+
+let check lib =
+  List.concat_map check_cell (Cells.Library.cells lib)
+  @ List.concat_map (check_group lib) (Cells.Library.functions lib)

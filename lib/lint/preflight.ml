@@ -1,0 +1,16 @@
+(* Fail-fast gate in front of the optimizer and experiment harnesses. *)
+
+exception Rejected of Diag.t list
+
+let () =
+  Printexc.register_printer (function
+    | Rejected ds ->
+        Some
+          (Fmt.str "Lint.Preflight.Rejected: %a@ %a" Report.pp_summary ds
+             Report.pp ds)
+    | _ -> None)
+
+let gate ?(ignore_lint = false) ?registry ?model ~lib circuit =
+  let findings = Engine.check_all ?registry ?model ~lib circuit in
+  if (not ignore_lint) && Diag.has_errors findings then raise (Rejected findings);
+  findings

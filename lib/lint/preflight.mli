@@ -1,0 +1,19 @@
+(** The preflight gate: [Sizer.optimize] and the experiment harnesses run
+    this before touching a circuit, so bad inputs fail fast with coded
+    diagnostics instead of deep inside a 10k-iteration sizing loop. *)
+
+exception Rejected of Diag.t list
+(** Raised when Error-level findings are present. The payload is the full
+    (sorted) finding list, errors first. A human-readable printer is
+    registered with [Printexc]. *)
+
+val gate :
+  ?ignore_lint:bool ->
+  ?registry:Registry.t ->
+  ?model:Variation.Model.t ->
+  lib:Cells.Library.t ->
+  Netlist.Circuit.t ->
+  Diag.t list
+(** Run {!Engine.check_all}; raise {!Rejected} when errors are found unless
+    [ignore_lint] (the escape hatch, default false). Returns every finding
+    (so callers can log warnings) when it does not raise. *)

@@ -1,0 +1,57 @@
+(* Rule enable/disable and severity overrides, applied as a post-filter over
+   emitted diagnostics so the rule packs stay configuration-free. *)
+
+type t = {
+  disabled : string list;
+  overrides : (string * Diag.Severity.t) list;
+}
+
+let default = { disabled = []; overrides = [] }
+
+let check_code code =
+  if not (Rule.mem code) then
+    invalid_arg (Printf.sprintf "Lint.Registry: unknown rule code %S" code)
+
+let disable t code =
+  check_code code;
+  if List.mem code t.disabled then t else { t with disabled = code :: t.disabled }
+
+let override t ~code ~severity =
+  check_code code;
+  { t with overrides = (code, severity) :: List.remove_assoc code t.overrides }
+
+let of_spec ?(disable = []) ?(overrides = []) () =
+  let ( let* ) = Result.bind in
+  let* t =
+    List.fold_left
+      (fun acc code ->
+        let* t = acc in
+        if Rule.mem code then Ok { t with disabled = code :: t.disabled }
+        else Error (Printf.sprintf "unknown rule code %S" code))
+      (Ok default) disable
+  in
+  List.fold_left
+    (fun acc spec ->
+      let* t = acc in
+      match String.index_opt spec '=' with
+      | None -> Error (Printf.sprintf "bad severity override %S (want CODE=LEVEL)" spec)
+      | Some i -> (
+          let code = String.sub spec 0 i in
+          let level = String.sub spec (i + 1) (String.length spec - i - 1) in
+          if not (Rule.mem code) then
+            Error (Printf.sprintf "unknown rule code %S" code)
+          else
+            match Diag.Severity.of_string level with
+            | None -> Error (Printf.sprintf "unknown severity %S" level)
+            | Some severity ->
+                Ok { t with overrides = (code, severity) :: t.overrides }))
+    (Ok t) overrides
+
+let apply t diags =
+  diags
+  |> List.filter (fun (d : Diag.t) -> not (List.mem d.Diag.code t.disabled))
+  |> List.map (fun (d : Diag.t) ->
+         match List.assoc_opt d.Diag.code t.overrides with
+         | Some severity -> Diag.with_severity severity d
+         | None -> d)
+  |> Diag.sort

@@ -1,0 +1,86 @@
+(* Text and JSON rendering of lint results, plus the exit-code policy CI
+   scripts key on. *)
+
+let pp_summary ppf ds =
+  let e = Diag.count Diag.Severity.Error ds
+  and w = Diag.count Diag.Severity.Warning ds
+  and i = Diag.count Diag.Severity.Info ds in
+  if e = 0 && w = 0 && i = 0 then Fmt.string ppf "clean"
+  else
+    let plural n word =
+      Printf.sprintf "%d %s%s" n word (if n = 1 then "" else "s")
+    in
+    Fmt.string ppf
+      (String.concat ", "
+         (List.filter_map Fun.id
+            [
+              (if e > 0 then Some (plural e "error") else None);
+              (if w > 0 then Some (plural w "warning") else None);
+              (if i > 0 then Some (plural i "info") else None);
+            ]))
+
+let pp ppf ds =
+  List.iter (fun d -> Fmt.pf ppf "  %a@." Diag.pp d) (Diag.sort ds);
+  Fmt.pf ppf "  %a@." pp_summary ds
+
+let exit_code ?(strict = false) ds =
+  if Diag.has_errors ds then 1
+  else if strict && Diag.count Diag.Severity.Warning ds > 0 then 3
+  else 0
+
+let to_json targets =
+  Diag.Json.to_string
+    (Diag.Json.Obj
+       [
+         ("version", Diag.Json.Num 1.0);
+         ( "targets",
+           Diag.Json.List
+             (List.map
+                (fun (name, ds) ->
+                  Diag.Json.Obj
+                    [
+                      ("name", Diag.Json.Str name);
+                      ( "diagnostics",
+                        Diag.Json.List
+                          (List.map Diag.Json.of_diag (Diag.sort ds)) );
+                    ])
+                targets) );
+       ])
+
+let of_json text =
+  let ( let* ) = Result.bind in
+  let* doc = Diag.Json.parse text in
+  let* () =
+    match Diag.Json.member "version" doc with
+    | Some (Diag.Json.Num 1.0) -> Ok ()
+    | _ -> Error "missing or unsupported version"
+  in
+  let* targets =
+    match Diag.Json.member "targets" doc with
+    | Some (Diag.Json.List ts) -> Ok ts
+    | _ -> Error "missing targets array"
+  in
+  List.fold_left
+    (fun acc t ->
+      let* parsed = acc in
+      let* name =
+        match Diag.Json.member "name" t with
+        | Some (Diag.Json.Str s) -> Ok s
+        | _ -> Error "target missing name"
+      in
+      let* diag_values =
+        match Diag.Json.member "diagnostics" t with
+        | Some (Diag.Json.List ds) -> Ok ds
+        | _ -> Error "target missing diagnostics"
+      in
+      let* diags =
+        List.fold_left
+          (fun acc v ->
+            let* ds = acc in
+            let* d = Diag.Json.to_diag v in
+            Ok (d :: ds))
+          (Ok []) diag_values
+      in
+      Ok ((name, List.rev diags) :: parsed))
+    (Ok []) targets
+  |> Result.map List.rev

@@ -1,0 +1,97 @@
+(* The rule catalogue. Codes are append-only: once a code has shipped it is
+   never reused or renumbered, so CI greps and severity overrides stay
+   stable across releases. *)
+
+type pack = Circuit_pack | Library_pack | Stat_pack | Bench_pack
+
+type meta = {
+  code : string;
+  pack : pack;
+  severity : Diag.Severity.t;
+  title : string;
+  protects : string;
+  internal : bool;
+}
+
+let e = Diag.Severity.Error
+let w = Diag.Severity.Warning
+
+let mk ?(internal = false) code pack severity title protects =
+  { code; pack; severity; title; protects; internal }
+
+let all =
+  [
+    mk "CIRC001" Circuit_pack e "combinational cycle"
+      "DAG-ness: every traversal (levelize, SSTA, sizing) assumes ascending \
+       ids are a topological order";
+    mk "CIRC002" Circuit_pack e "multiply-driven net"
+      "single-driver nets: arrival/load propagation assumes one driver per net";
+    mk "CIRC003" Circuit_pack e "floating net (undefined reference)"
+      "every fanin must resolve to a driven net or primary input";
+    mk "CIRC004" Circuit_pack w "dangling gate"
+      "no dead drivers: a gate with no fanout that is not an output is dead \
+       area and skews load/area metrics";
+    mk "CIRC005" Circuit_pack w "unreachable logic"
+      "every gate should reach a primary output; unreachable logic cannot \
+       affect RV_O yet still burns optimizer moves";
+    mk "CIRC006" Circuit_pack w "load beyond library drive capability"
+      "even the strongest drive for the function would extrapolate its delay \
+       table at this load";
+    mk "CIRC007" Circuit_pack w "load outside current cell's LUT range"
+      "NLDM bilinear interpolation is only calibrated inside the table; \
+       clamped extrapolation is a modeling lie";
+    mk "CIRC008" Circuit_pack e "no primary outputs"
+      "RV_O is a max over outputs — an empty output set makes SSTA undefined";
+    mk "CIRC009" Circuit_pack e "no primary inputs"
+      "arrival propagation needs at least one source";
+    mk ~internal:true "CIRC010" Circuit_pack e "corrupt node table"
+      "name-table/arity invariants the public construction API enforces; \
+       violations mean memory corruption or an internal bug";
+    mk "LIB001" Library_pack e "table non-monotone along load axis"
+      "delay/slew must not decrease with load — non-monotone tables break \
+       the sizing gain model and indicate corrupt characterization";
+    mk "LIB002" Library_pack w "table non-monotone along slew axis"
+      "delay/slew should not decrease with input slew; mild violations \
+       exist in real libraries, hence Warning";
+    mk "LIB003" Library_pack e "negative delay or slew entry"
+      "arrival times are sums of non-negative arcs; a negative entry breaks \
+       monotone arrival propagation";
+    mk "LIB004" Library_pack e "non-positive input cap or area"
+      "load computation and area recovery divide and rank by these";
+    mk "LIB005" Library_pack w "missing drive strengths"
+      "the sizing ladder (next_up/next_down) expects every function at every \
+       strength; gaps silently shrink the search space";
+    mk "LIB006" Library_pack w "area non-monotone vs drive strength"
+      "area recovery assumes downsizing saves area";
+    mk "LIB007" Library_pack w "LUT extrapolation observed at runtime"
+      "queries outside the characterized table were clamped; results there \
+       are extrapolations, not measurements";
+    mk "STAT001" Stat_pack e "discrete pdf mass not 1"
+      "FULLSSTA's cross-sum/CDF-product algebra assumes normalized pdfs";
+    mk "STAT002" Stat_pack e "negative variance, mass, or sigma component"
+      "second moments and probability masses are non-negative by definition";
+    mk "STAT003" Stat_pack w "sigma/mu outside the sane range"
+      "the paper's setup lives at sigma/mu of a few percent; a ratio above \
+       0.5 means the normal approximation (and Clark) is meaningless";
+    mk "STAT004" Stat_pack e "Clark precondition a > 0 violated"
+      "Clark's max formulas divide by a = sqrt(varA + varB - 2*cov); a \
+       zero-sigma model degenerates every max";
+    mk "BENCH001" Bench_pack e "bench syntax error"
+      "the .bench grammar: NAME = OP(args) and INPUT/OUTPUT declarations";
+    mk "BENCH002" Bench_pack e "unsupported gate or arity"
+      "technology mapping covers the ISCAS-85 primitive set plus the \
+       writer's superset dialect, nothing else";
+  ]
+
+let find code = List.find_opt (fun m -> m.code = code) all
+let mem code = Option.is_some (find code)
+
+let pack_name = function
+  | Circuit_pack -> "circuit"
+  | Library_pack -> "library"
+  | Stat_pack -> "statistical"
+  | Bench_pack -> "bench"
+
+let pp_meta ppf m =
+  Fmt.pf ppf "%s [%s, default %a] %s — %s" m.code (pack_name m.pack)
+    Diag.Severity.pp m.severity m.title m.protects

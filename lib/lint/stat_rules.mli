@@ -1,0 +1,20 @@
+(** The statistical rule pack (STAT001–STAT004): preconditions under which
+    the SSTA approximations (discrete-pdf algebra, Clark's max, the normal
+    model) are actually valid. *)
+
+val check_model : Variation.Model.t -> Diag.t list
+(** STAT002 (negative sigma components / non-positive tau), STAT003
+    (sigma/mu outside (0, 0.5] at minimum size), STAT004 (all-zero sigma
+    degenerates Clark's a-term). *)
+
+val check_points : ?tol:float -> (float * float) list -> Diag.t list
+(** Raw (value, mass) pdf points: STAT002 for negative masses (located at
+    the offending point), STAT001 when total mass deviates from 1 beyond
+    [tol] (default 1e-6). *)
+
+val check_pdf : ?tol:float -> Numerics.Discrete_pdf.t -> Diag.t list
+(** {!check_points} over a constructed pdf's support — paranoia check, the
+    constructor normalizes. *)
+
+val check_moments : loc:Diag.location -> Numerics.Clark.moments -> Diag.t list
+(** STAT002 when the variance is negative. *)

@@ -9,10 +9,10 @@
    library name (AOI21/OAI21/MUX2 included), which this reader accepts back,
    so write/read round-trips preserve structure. *)
 
-exception Parse_error of { line : int; message : string }
+exception Parse_error of { line : int; code : string; message : string }
 
-let fail line fmt =
-  Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+let fail ?(code = "BENCH001") line fmt =
+  Printf.ksprintf (fun message -> raise (Parse_error { line; code; message })) fmt
 
 type def = { op : string; args : string list; line : int }
 
@@ -59,7 +59,9 @@ let parse_line ~line ~acc text =
         in
         if name = "" then fail line "missing gate name in %S" text;
         if args = [] then fail line "gate %S has no operands" name;
-        if Hashtbl.mem acc.defs name then fail line "duplicate definition of %S" name;
+        if Hashtbl.mem acc.defs name then
+          fail ~code:"CIRC002" line "duplicate definition of %S (multiply-driven net)"
+            name;
         Hashtbl.add acc.defs name { op; args; line };
         { acc with def_order = name :: acc.def_order }
 
@@ -104,14 +106,15 @@ let instantiate_gate builder ~name def ids =
       (match ids with
       | [ a; b; s ] -> Build.mux2 ~name builder ~sel:s ~a ~b
       | _ -> assert false)
-  | op, n -> fail def.line "unsupported gate %s/%d for %S" op n name
+  | op, n -> fail ~code:"BENCH002" def.line "unsupported gate %s/%d for %S" op n name
 
-let map_to_circuit ?(name = "bench") ~lib parsed =
+let map_to_circuit ?(name = "bench") ?(validate = true) ~lib parsed =
   let builder = Build.create ~lib ~name () in
   List.iter
     (fun (input_name, line) ->
       if Hashtbl.mem parsed.defs input_name then
-        fail line "node %S is both INPUT and a gate" input_name;
+        fail ~code:"CIRC002" line "node %S is both INPUT and a gate (multiply-driven)"
+          input_name;
       ignore (Build.input builder ~name:input_name))
     parsed.inputs;
   let circuit = Build.circuit builder in
@@ -122,10 +125,10 @@ let map_to_circuit ?(name = "bench") ~lib parsed =
     | Some id -> id
     | None -> (
         match Hashtbl.find_opt parsed.defs ref_name with
-        | None -> fail line "reference to undefined signal %S" ref_name
+        | None -> fail ~code:"CIRC003" line "reference to undefined signal %S" ref_name
         | Some def ->
             if Hashtbl.mem visiting ref_name then
-              fail def.line "combinational cycle through %S" ref_name;
+              fail ~code:"CIRC001" def.line "combinational cycle through %S" ref_name;
             Hashtbl.add visiting ref_name ();
             let ids = List.map (fun a -> resolve a ~line:def.line) def.args in
             Hashtbl.remove visiting ref_name;
@@ -136,15 +139,131 @@ let map_to_circuit ?(name = "bench") ~lib parsed =
     (fun (out_name, line) ->
       Circuit.mark_output circuit (resolve out_name ~line))
     parsed.outputs;
-  Build.finish builder
+  Build.finish ~validate builder
 
-let of_string ?name ~lib text = map_to_circuit ?name ~lib (parse_text text)
+let of_string ?name ?validate ~lib text =
+  map_to_circuit ?name ?validate ~lib (parse_text text)
 
-let load ?name ~lib ~path () =
+(* ---- permissive diagnostic pass ----------------------------------------
+
+   [of_string] is fail-fast: the first problem raises. The lint front end
+   wants every problem in the file at once, with file:line positions, so
+   this second pass parses line by line (bad lines become diagnostics and
+   are skipped) and then checks references, operators and cycles over the
+   surviving definition graph without instantiating any gates. *)
+
+(* `Ok | `Unknown op | `Bad_arity mirror exactly what [instantiate_gate]
+   would accept. *)
+let op_support op ~arity =
+  match op with
+  | "NOT" | "INV" | "BUF" | "BUFF" -> if arity = 1 then `Ok else `Bad_arity
+  | "AND" | "AND2" | "AND3" | "AND4"
+  | "OR" | "OR2" | "OR3" | "OR4"
+  | "NAND" | "NAND2" | "NAND3" | "NAND4"
+  | "NOR" | "NOR2" | "NOR3" | "NOR4"
+  | "XOR" | "XOR2" | "XNOR" | "XNOR2" ->
+      if arity >= 2 then `Ok else `Bad_arity
+  | "AOI21" | "OAI21" | "MUX2" -> if arity = 3 then `Ok else `Bad_arity
+  | _ -> `Unknown
+
+let lint ?(file = "<bench>") text =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let loc line = Diag.File { file; line } in
+  let acc =
+    ref { inputs = []; outputs = []; defs = Hashtbl.create 997; def_order = [] }
+  in
+  List.iteri
+    (fun i l ->
+      let line = i + 1 in
+      if not (is_blank l) then
+        match parse_line ~line ~acc:!acc l with
+        | acc' -> acc := acc'
+        | exception Parse_error { line; code; message } ->
+            add (Diag.make ~code ~severity:Diag.Severity.Error ~loc:(loc line) message))
+    (String.split_on_char '\n' text);
+  let parsed =
+    {
+      !acc with
+      inputs = List.rev !acc.inputs;
+      outputs = List.rev !acc.outputs;
+      def_order = List.rev !acc.def_order;
+    }
+  in
+  let defined name =
+    List.mem_assoc name parsed.inputs || Hashtbl.mem parsed.defs name
+  in
+  List.iter
+    (fun (input_name, line) ->
+      if Hashtbl.mem parsed.defs input_name then
+        add
+          (Diag.errorf ~code:"CIRC002" ~loc:(loc line)
+             "node %S is both INPUT and a gate (multiply-driven)" input_name))
+    parsed.inputs;
+  List.iter
+    (fun name ->
+      match Hashtbl.find_opt parsed.defs name with
+      | None -> ()
+      | Some def ->
+          (match op_support def.op ~arity:(List.length def.args) with
+          | `Ok -> ()
+          | `Unknown ->
+              add
+                (Diag.errorf ~code:"BENCH002" ~loc:(loc def.line)
+                   "unsupported gate %s for %S" def.op name)
+          | `Bad_arity ->
+              add
+                (Diag.errorf ~code:"BENCH002" ~loc:(loc def.line)
+                   "unsupported gate %s/%d for %S" def.op
+                   (List.length def.args) name));
+          List.iter
+            (fun a ->
+              if not (defined a) then
+                add
+                  (Diag.errorf ~code:"CIRC003" ~loc:(loc def.line)
+                     "reference to undefined signal %S" a))
+            def.args)
+    parsed.def_order;
+  List.iter
+    (fun (out_name, line) ->
+      if not (defined out_name) then
+        add
+          (Diag.errorf ~code:"CIRC003" ~loc:(loc line)
+             "OUTPUT references undefined signal %S" out_name))
+    parsed.outputs;
+  (* Cycle detection over the definition graph (no instantiation): a grey
+     node reached again is a back edge — one diagnostic per back edge. *)
+  let color = Hashtbl.create 97 in
+  let rec dfs name =
+    match Hashtbl.find_opt color name with
+    | Some _ -> ()
+    | None -> (
+        match Hashtbl.find_opt parsed.defs name with
+        | None -> ()
+        | Some def ->
+            Hashtbl.replace color name `Grey;
+            List.iter
+              (fun a ->
+                if Hashtbl.find_opt color a = Some `Grey then
+                  add
+                    (Diag.errorf ~code:"CIRC001" ~loc:(loc def.line)
+                       "combinational cycle through %S" a)
+                else dfs a)
+              def.args;
+            Hashtbl.replace color name `Black)
+  in
+  List.iter dfs parsed.def_order;
+  Diag.sort !diags
+
+let lint_file ~path =
+  let text = In_channel.with_open_text path In_channel.input_all in
+  lint ~file:path text
+
+let load ?name ?validate ~lib ~path () =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
-    (fun () -> of_string ?name ~lib (In_channel.input_all ic))
+    (fun () -> of_string ?name ?validate ~lib (In_channel.input_all ic))
 
 let to_string t =
   let buf = Buffer.create 4096 in

@@ -2,13 +2,35 @@
     minimum-size library cells (wide gates become balanced trees); writing
     emits a superset dialect this reader accepts back. *)
 
-exception Parse_error of { line : int; message : string }
+exception Parse_error of { line : int; code : string; message : string }
+(** [code] is the stable diagnostic code (BENCH001 syntax, BENCH002
+    unsupported gate, CIRC001 cycle, CIRC002 multiply-driven, CIRC003
+    undefined reference). *)
 
-val of_string : ?name:string -> lib:Cells.Library.t -> string -> Circuit.t
+val of_string :
+  ?name:string -> ?validate:bool -> lib:Cells.Library.t -> string -> Circuit.t
 (** Parse and map; raises {!Parse_error} on malformed text, undefined
-    references, or combinational cycles. *)
+    references, or combinational cycles (fail-fast — first problem wins).
+    [~validate:false] skips the final structural check so circuits with
+    warning-level issues (e.g. dangling gates) still load — the lint front
+    end reports those as diagnostics instead. *)
 
-val load : ?name:string -> lib:Cells.Library.t -> path:string -> unit -> Circuit.t
+val load :
+  ?name:string ->
+  ?validate:bool ->
+  lib:Cells.Library.t ->
+  path:string ->
+  unit ->
+  Circuit.t
+
+val lint : ?file:string -> string -> Diag.t list
+(** Permissive diagnostic pass: parse line by line (malformed lines become
+    diagnostics and are skipped), then report undefined references,
+    unsupported operators, multiply-driven nets and combinational cycles over
+    the surviving definition graph — every problem in the file at once, with
+    [file:line] locations. Empty iff {!of_string} would succeed. *)
+
+val lint_file : path:string -> Diag.t list
 
 val to_string : Circuit.t -> string
 val save : Circuit.t -> path:string -> unit

@@ -126,11 +126,13 @@ let output ?name t id =
   Circuit.mark_output t.circuit id;
   id
 
-let finish t =
-  match Circuit.validate t.circuit with
+let finish ?(validate = true) t =
+  if not validate then t.circuit
+  else
+    match Circuit.validate_diag t.circuit with
   | [] -> t.circuit
   | problems ->
       invalid_arg
         (Printf.sprintf "Build.finish: invalid circuit %s: %s"
            (Circuit.name t.circuit)
-           (String.concat "; " problems))
+           (String.concat "; " (List.map Diag.to_string problems)))

@@ -49,5 +49,8 @@ val oai21 : ?name:string -> t -> Circuit.id -> Circuit.id -> Circuit.id -> Circu
 val output : ?name:string -> t -> Circuit.id -> Circuit.id
 (** Mark as primary output; with [name], a named buffer is inserted first. *)
 
-val finish : t -> Circuit.t
-(** Validate and return the circuit; raises on structural problems. *)
+val finish : ?validate:bool -> t -> Circuit.t
+(** Validate and return the circuit; raises on any structural finding.
+    [~validate:false] skips the check — the lint front end loads this way
+    so warning-level findings are reported as diagnostics instead of
+    aborting the load. *)

@@ -178,29 +178,57 @@ let total_area t =
       | Gate g -> acc +. Cells.Cell.area g.cell)
 
 (* Structural sanity: names resolve, fanin arities match, every non-output
-   node with no fanout is flagged, outputs non-empty. Returns human-readable
-   problems; the empty list means the circuit is well-formed. *)
-let validate t =
+   node with no fanout is flagged, outputs non-empty. Typed diagnostics;
+   the empty list means the circuit is well-formed. The CIRC010 corruption
+   checks guard internal invariants the public API cannot break. *)
+let validate_diag t =
   let problems = ref [] in
-  let add fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
-  if t.output_ids = [] then add "circuit has no primary outputs";
-  if t.input_ids = [] then add "circuit has no primary inputs";
+  let add d = problems := d :: !problems in
+  if t.output_ids = [] then
+    add
+      (Diag.errorf ~code:"CIRC008" ~loc:Diag.Circuit
+         ~hint:"mark at least one node with mark_output"
+         "circuit %S has no primary outputs" t.circuit_name);
+  if t.input_ids = [] then
+    add
+      (Diag.errorf ~code:"CIRC009" ~loc:Diag.Circuit
+         "circuit %S has no primary inputs" t.circuit_name);
   Vec.iter t.nodes ~f:(fun n ->
       (match Hashtbl.find_opt t.by_name n.name with
       | Some id when id = n.id -> ()
-      | _ -> add "node %S not registered under its own name" n.name);
+      | _ ->
+          add
+            (Diag.errorf ~code:"CIRC010" ~loc:(Diag.Net n.name)
+               "node %S not registered under its own name (corrupt node table)"
+               n.name));
       match n.kind with
       | Primary_input -> ()
       | Gate g ->
           if Array.length g.fanins <> Cells.Cell.arity g.cell then
-            add "gate %S arity mismatch" n.name;
+            add
+              (Diag.errorf ~code:"CIRC010" ~loc:(Diag.Gate n.name)
+                 "gate %S has %d fanins but cell %s expects %d" n.name
+                 (Array.length g.fanins)
+                 (Cells.Cell.name g.cell)
+                 (Cells.Cell.arity g.cell));
           Array.iter
             (fun fi ->
-              if fi >= n.id then add "gate %S has non-topological fanin" n.name)
+              if fi >= n.id then
+                add
+                  (Diag.errorf ~code:"CIRC001" ~loc:(Diag.Gate n.name)
+                     "gate %S has non-topological fanin %d (combinational \
+                      cycle or corrupt ids)"
+                     n.name fi))
             g.fanins;
           if n.fanouts = [] && not n.is_output then
-            add "gate %S is dangling (no fanout, not an output)" n.name);
+            add
+              (Diag.warningf ~code:"CIRC004" ~loc:(Diag.Gate n.name)
+                 ~hint:"mark it as an output or remove it"
+                 "gate %S is dangling (no fanout, not an output)" n.name));
   List.rev !problems
+
+(* Deprecated string rendering of {!validate_diag}, kept for one release. *)
+let validate t = List.map Diag.to_string (validate_diag t)
 
 (* Structural deep copy (fresh mutable cells) — lets one prepared baseline
    feed several independent optimization runs. *)

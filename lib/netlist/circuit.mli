@@ -72,7 +72,13 @@ val copy : ?name:string -> t -> t
 (** Structural deep copy with fresh mutable cell assignments (ids are
     preserved). *)
 
+val validate_diag : t -> Diag.t list
+(** Structural problems as typed diagnostics (codes CIRC001/004/008/009/010),
+    empty when well-formed. Dangling gates are [Warning]; everything else is
+    [Error]. *)
+
 val validate : t -> string list
-(** Structural problems, empty when well-formed. *)
+(** Deprecated: string rendering of {!validate_diag}, kept for one release.
+    Empty when well-formed. *)
 
 val pp : t Fmt.t

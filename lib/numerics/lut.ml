@@ -9,6 +9,7 @@ type t = {
   rows : float array; (* first index, e.g. input slew *)
   cols : float array; (* second index, e.g. load capacitance *)
   values : float array array; (* values.(i).(j) at (rows.(i), cols.(j)) *)
+  mutable oob_queries : int; (* queries clamped to the grid edge *)
 }
 
 let strictly_increasing a =
@@ -23,7 +24,7 @@ let create ~rows ~cols ~values =
     invalid_arg "Lut.create: axes must be strictly increasing";
   if Array.length values <> nr || Array.exists (fun r -> Array.length r <> nc) values
   then invalid_arg "Lut.create: values shape mismatch";
-  { rows; cols; values }
+  { rows; cols; values; oob_queries = 0 }
 
 let of_function ~rows ~cols f =
   let values = Array.map (fun r -> Array.map (fun c -> f r c) cols) rows in
@@ -47,7 +48,15 @@ let locate axis x =
     let frac = (x -. axis.(i)) /. (axis.(i + 1) -. axis.(i)) in
     (i, frac)
 
+let in_range_axis axis x = x >= axis.(0) && x <= axis.(Array.length axis - 1)
+
+let in_range t ~row ~col = in_range_axis t.rows row && in_range_axis t.cols col
+
+let oob_count t = t.oob_queries
+let reset_oob t = t.oob_queries <- 0
+
 let query t ~row ~col =
+  if not (in_range t ~row ~col) then t.oob_queries <- t.oob_queries + 1;
   let i, fr = locate t.rows row in
   let j, fc = locate t.cols col in
   let v00 = t.values.(i).(j) in
@@ -63,8 +72,10 @@ let query t ~row ~col =
 
 let rows t = Array.copy t.rows
 let cols t = Array.copy t.cols
+let values t = Array.map Array.copy t.values
 
-let map t ~f = { t with values = Array.map (Array.map f) t.values }
+let map t ~f =
+  { t with values = Array.map (Array.map f) t.values; oob_queries = 0 }
 
 let pp ppf t =
   Fmt.pf ppf "lut[%dx%d]" (Array.length t.rows) (Array.length t.cols)

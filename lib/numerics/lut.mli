@@ -11,10 +11,24 @@ val of_function : rows:float array -> cols:float array -> (float -> float -> flo
 (** Tabulate a function on the given grid. *)
 
 val query : t -> row:float -> col:float -> float
-(** Bilinear interpolation; queries outside the grid clamp to the edge. *)
+(** Bilinear interpolation; queries outside the grid clamp to the edge and
+    bump the table's out-of-bounds counter (see {!oob_count}). *)
+
+val in_range : t -> row:float -> col:float -> bool
+(** Whether a query point lies inside the table (no clamping needed). Does
+    not touch the out-of-bounds counter. *)
+
+val oob_count : t -> int
+(** How many {!query} calls since creation (or {!reset_oob}) were clamped —
+    the raw signal behind the lint pack's extrapolation warning. *)
+
+val reset_oob : t -> unit
 
 val rows : t -> float array
 val cols : t -> float array
+
+val values : t -> float array array
+(** A deep copy of the table entries (row-major), for validators. *)
 
 val map : t -> f:(float -> float) -> t
 

@@ -89,3 +89,32 @@ let sigma_over_mean t =
 
 (* Statistical yield at a clock period: P(RV_O <= period). *)
 let yield_at t ~period = Numerics.Discrete_pdf.cdf (output_rv t) period
+
+(* Post-run self-check: every stored arrival pdf must still be a pdf after
+   the SUM/MAX/resample chain. Findings here point at engine defects (lost
+   mass, negative weights, negative stored variance), not at user input —
+   the lint preflight guards the inputs. *)
+let check ?(tol = 1e-6) t =
+  List.concat_map
+    (fun id ->
+      let loc = Diag.Net (Netlist.Circuit.node_name t.circuit id) in
+      let points = Numerics.Discrete_pdf.points t.pdfs.(id) in
+      let mass = List.fold_left (fun a (_, m) -> a +. m) 0.0 points in
+      (if Float.abs (mass -. 1.0) > tol then
+         [
+           Diag.errorf ~code:"STAT001" ~loc
+             "arrival pdf mass drifted to %.9g after propagation" mass;
+         ]
+       else [])
+      @ (if List.exists (fun (_, m) -> m < 0.0) points then
+           [
+             Diag.errorf ~code:"STAT002" ~loc
+               "arrival pdf has a negative point mass";
+           ]
+         else [])
+      @
+      let var = t.moments.(id).Numerics.Clark.var in
+      if var < 0.0 then
+        [ Diag.errorf ~code:"STAT002" ~loc "stored arrival variance %.3g" var ]
+      else [])
+    (Netlist.Circuit.topological t.circuit)

@@ -31,3 +31,9 @@ val sigma_over_mean : t -> float
 
 val yield_at : t -> period:float -> float
 (** P(RV_O ≤ period). *)
+
+val check : ?tol:float -> t -> Diag.t list
+(** Post-run invariant self-check: every stored arrival pdf still sums to 1
+    within [tol] (default 1e-6), has no negative point mass, and carries a
+    non-negative stored variance. Findings (STAT001/STAT002) indicate engine
+    defects rather than bad inputs. *)
