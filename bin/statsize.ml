@@ -8,6 +8,8 @@
      paths    CIRCUIT        K worst paths with per-path miss probability
      slack    CIRCUIT        statistical required times / slack summary
      pca      CIRCUIT        correlation-aware SSTA vs the independent engines
+     check    CIRCUIT        certify SSTA runs against abstract-interpretation
+                             bounds (ABS rules) and report the dominance skip set
      dot      CIRCUIT FILE   Graphviz export with the WNSS cone highlighted
      table1 / fig1 / fig3 / fig4 / approx
                              regenerate the paper's experiments
@@ -471,10 +473,154 @@ let lint_cmd =
     Term.(const run $ targets_arg $ all_arg $ format_arg $ strict_arg
           $ disable_arg $ severity_arg $ liberty_arg)
 
+let check_cmd =
+  let targets_arg =
+    let doc = "Circuits to certify: suite names or .bench files." in
+    Arg.(value & pos_all string [] & info [] ~docv:"CIRCUIT" ~doc)
+  in
+  let all_arg =
+    Arg.(value & flag
+         & info [ "all" ] ~doc:"Also certify every built-in suite circuit.")
+  in
+  let format_arg =
+    Arg.(value
+         & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+         & info [ "format" ] ~doc:"Output format: $(b,text) or $(b,json).")
+  in
+  let scope_arg =
+    Arg.(value
+         & opt (enum [ ("current", `Current); ("all-sizings", `All) ]) `Current
+         & info [ "scope" ]
+             ~doc:"Certify the $(b,current) sizing (tight) or hull over \
+                   $(b,all-sizings) of the drive ladder (sound under any \
+                   optimizer trajectory).")
+  in
+  let margin_arg =
+    Arg.(value & opt (some float) None
+         & info [ "margin" ]
+             ~doc:"Dominance margin in joint sigmas (default 4).")
+  in
+  let budget_tol_arg =
+    Arg.(value & opt float 0.05
+         & info [ "budget-tol" ]
+             ~doc:"ABS005 threshold: accumulated FASSTA budget as a fraction \
+                   of the certified RV_O mean bound.")
+  in
+  let strict_arg =
+    Arg.(value & flag
+         & info [ "strict" ] ~doc:"Exit 3 when warnings are present (errors \
+                                   always exit 1).")
+  in
+  let disable_arg =
+    Arg.(value & opt (list string) []
+         & info [ "disable" ] ~doc:"Comma-separated rule codes to disable.")
+  in
+  let severity_arg =
+    Arg.(value & opt (list string) []
+         & info [ "severity" ]
+             ~doc:"Comma-separated severity overrides, e.g. ABS005=info.")
+  in
+  let die fmt = Fmt.kstr (fun m -> Fmt.epr "statsize check: %s@." m; exit 2) fmt in
+  let run targets all format scope margin budget_tol strict disable overrides =
+    let registry =
+      match Lint.Registry.of_spec ~disable ~overrides () with
+      | Ok r -> r
+      | Error msg -> die "--disable/--severity: %s" msg
+    in
+    let targets = targets @ if all then Benchgen.Iscas_like.names else [] in
+    if targets = [] then
+      die "no circuits to certify (pass suite names, .bench paths, or --all)";
+    let scope =
+      match scope with
+      | `Current -> Absint.Statcheck.Current_sizing
+      | `All -> Absint.Statcheck.All_sizings
+    in
+    let model = Variation.Model.default in
+    let check_target name =
+      let c = try build_circuit name with Failure msg -> die "%s" msg in
+      ignore (Core.Initial_sizing.apply ~lib c);
+      let clark_config =
+        { Absint.Statcheck.default_config with Absint.Statcheck.scope; model }
+      in
+      let sc = Absint.Statcheck.run ~config:clark_config ~lib c in
+      let scd =
+        Absint.Statcheck.run
+          ~config:
+            { clark_config with semantics = Absint.Domain.Distribution_free }
+          ~lib c
+      in
+      let dom = Absint.Dominance.compute ?margin sc in
+      let full = Ssta.Fullssta.run c in
+      let fast = Ssta.Fassta.run c in
+      let exact =
+        let electrical = Sta.Electrical.compute c in
+        let scratch =
+          Array.make (Netlist.Circuit.size c)
+            (Numerics.Clark.moments ~mean:0.0 ~var:0.0)
+        in
+        Ssta.Fassta.propagate_into ~exact:true ~model ~circuit:c ~electrical
+          scratch;
+        scratch
+      in
+      let diags =
+        Lint.Absint_rules.check_fullssta scd (Ssta.Fullssta.moments full)
+        @ Lint.Absint_rules.check_fassta ~engine:`Fast sc (fun id -> fast.(id))
+        @ Lint.Absint_rules.check_fassta ~engine:`Exact sc (fun id ->
+              exact.(id))
+        @ Lint.Absint_rules.check_budget sc
+            ~fast:(fun id -> fast.(id))
+            ~exact:(fun id -> exact.(id))
+        @ Lint.Absint_rules.check_budget_tolerance ~tol:budget_tol sc
+      in
+      (c, sc, scd, dom, Lint.Registry.apply registry diags)
+    in
+    let results = List.map (fun t -> (t, check_target t)) targets in
+    (match format with
+    | `Json ->
+        print_endline
+          (Lint.Report.to_json
+             (List.map (fun (t, (_, _, _, _, ds)) -> (t, ds)) results))
+    | `Text ->
+        List.iter
+          (fun (t, (c, sc, scd, dom, ds)) ->
+            Fmt.pr "%s:@.  clark:     %a@.  dist-free: %a@.  %a@." t
+              Absint.Statcheck.pp_summary sc Absint.Statcheck.pp_summary scd
+              Absint.Dominance.pp dom;
+            (match Absint.Dominance.dominated_outputs dom with
+            | [] -> ()
+            | outs ->
+                Fmt.pr "  dominated outputs: %a@."
+                  Fmt.(list ~sep:sp string)
+                  (List.map (Netlist.Circuit.node_name c) outs));
+            Fmt.pr "%a" Lint.Report.pp ds)
+          results);
+    exit
+      (Lint.Report.exit_code ~strict
+         (List.concat_map (fun (_, (_, _, _, _, ds)) -> ds) results))
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Certify SSTA runs against abstract-interpretation bounds (ABS rules)"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P "Runs the statcheck certifier (Clark-normal and \
+               distribution-free abstract interpretation) over each circuit, \
+               then cross-checks concrete FULLSSTA and FASSTA results \
+               against the certified enclosures (ABS001-ABS005) and reports \
+               the dominance skip set the sizer's $(b,prune) mode consumes. \
+               Exit codes match $(b,statsize lint): 0 clean or warnings, 1 \
+               errors, 2 usage errors, 3 warnings with $(b,--strict).";
+         ])
+    Term.(const run $ targets_arg $ all_arg $ format_arg $ scope_arg
+          $ margin_arg $ budget_tol_arg $ strict_arg $ disable_arg
+          $ severity_arg)
+
 let main =
   let doc = "statistical gate sizing for process-variation tolerance" in
   Cmd.group (Cmd.info "statsize" ~doc)
-    [ list_cmd; info_cmd; lint_cmd; analyze_cmd; optimize_cmd; paths_cmd; slack_cmd;
+    [ list_cmd; info_cmd; lint_cmd; check_cmd; analyze_cmd; optimize_cmd; paths_cmd; slack_cmd;
       pca_cmd; rank_cmd; dot_cmd; table1_cmd; fig1_cmd; fig3_cmd; fig4_cmd;
       approx_cmd; ablation_cmd; export_cmd; verilog_cmd; sdf_cmd; power_cmd;
       liberty_cmd ]

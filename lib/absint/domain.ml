@@ -1,0 +1,207 @@
+(* The statcheck abstract value and its transfer functions. Soundness
+   arguments for every bound live in DESIGN.md §9.1; the two load-bearing
+   facts are:
+
+   - Clark's E[max] is monotone non-decreasing in μA, μB and in the spread
+     (∂E/∂μA = Φ(α), ∂E/∂μB = Φ(−α), ∂E/∂a = φ(α), all ≥ 0), so corner
+     evaluation of the exact formula yields a sound interval extension;
+   - for independent normals, Var(max) = varA·Φ(α) + varB·Φ(−α)
+     + (μB−μA)·e₁ − e₁² with e₁ = E[max] − μA ≥ 0 when α ≥ 0, whose last
+     two terms are ≤ 0 — hence Var(max) ≤ max(varA, varB). The
+     distribution-free fallback Var(max) ≤ varA + varB (from
+     max = (A+B)/2 + |A−B|/2 and Minkowski) covers non-normal operands. *)
+
+module I = Numerics.Interval
+module C = Numerics.Clark
+
+type semantics = Clark_normal | Distribution_free
+
+type v = {
+  mean : I.t;
+  var : I.t;
+  support : I.t option;
+  err_mean : float;
+  err_sigma : float;
+}
+
+(* Epsilon absorbed per FULLSSTA renormalization (dropped ≤ 1e-12 masses and
+   the implied rescale): generous by ~an order of magnitude. *)
+let resample_moment_eps = 1e-8
+
+(* Relative widening applied to Clark corner evaluations: the monotonicity
+   argument is exact in real arithmetic; the float evaluation of the same
+   formula at interior points can cross a corner value by a few ulps. *)
+let corner_eps = 1e-9
+
+let clamp_var var = if I.lo var < 0.0 then I.v 0.0 (Float.max 0.0 (I.hi var)) else var
+
+(* Refine moments against hard support bounds: the mean of a distribution on
+   [a, b] lies in [a, b], and Popoviciu gives Var ≤ ((b − a)/2)². If float
+   drift ever makes the two sound enclosures disjoint, keep the moment
+   interval (both enclose the truth, so this cannot lose it). *)
+let refine t =
+  match t.support with
+  | None -> t
+  | Some s ->
+      let mean = match I.meet t.mean s with Some m -> m | None -> t.mean in
+      let half = 0.5 *. I.width s in
+      let pop = Float.succ (half *. half) in
+      let var =
+        if I.hi t.var > pop then I.v (Float.min (I.lo t.var) pop) pop else t.var
+      in
+      { t with mean; var }
+
+let make ~mean ~var ?support ?(err_mean = 0.0) ?(err_sigma = 0.0) () =
+  refine { mean; var = clamp_var var; support; err_mean; err_sigma }
+
+let exact ?support (m : C.moments) =
+  make ~mean:(I.point m.C.mean) ~var:(I.point m.C.var) ?support ()
+
+let sum a b =
+  let support =
+    match (a.support, b.support) with
+    | Some sa, Some sb -> Some (I.add sa sb)
+    | _ -> None
+  in
+  refine
+    {
+      mean = I.add a.mean b.mean;
+      var = clamp_var (I.add a.var b.var);
+      support;
+      (* Sum of independent variables: means add exactly, so mean errors
+         add; sqrt(vA + vB) is 1-Lipschitz in each operand sigma, so sigma
+         errors add too. *)
+      err_mean = a.err_mean +. b.err_mean;
+      err_sigma = a.err_sigma +. b.err_sigma;
+    }
+
+let support_max a b =
+  match (a.support, b.support) with
+  | Some sa, Some sb -> Some (I.max2 sa sb)
+  | _ -> None
+
+(* Upper bound on the Clark spread sqrt(varA + varB) for ANY pair of operand
+   moments inside the enclosures — in particular for the pair either engine
+   actually holds, since both trajectories are enclosed (see max2_clark). *)
+let spread_hi a b = Float.succ (Float.sqrt (I.hi a.var +. I.hi b.var))
+
+(* Do conditions (5)/(6) provably fire for the fast engine, whatever member
+   of the enclosures it actually sees? Sufficient: the smallest possible
+   mean gap already clears cutoff × (largest possible spread) — the fast
+   engine's own α can only be larger. (A degenerate fast spread of 0 takes
+   the sp ≤ 0 branch, which returns the same dominant operand.) *)
+let certain_cutoff a b =
+  let sp = spread_hi a b in
+  let gap_a = I.lo a.mean -. I.hi b.mean in
+  let gap_b = I.lo b.mean -. I.hi a.mean in
+  Float.max gap_a gap_b >= C.cutoff *. sp
+
+(* Engine-inclusive Clark max: the output enclosure contains the result of
+   BOTH engines applied to any operand moments inside the input enclosures —
+   exact Clark (corner evaluation, by monotonicity), the blended quadratic-Φ
+   evaluation and the 2.6-cutoff short circuit (each within one certified
+   Budget step of exact Clark at the same operands). Containment of a whole
+   engine run then follows by induction over the propagation order, with no
+   error transport: the inductive hypothesis "this engine's node moments lie
+   in the node enclosure" is re-established at every arc sum and max. The
+   err_* fields no longer carry the containment proof; they accumulate the
+   per-operation step bounds along the deepest path as a first-order
+   fast-vs-exact deviation budget (the fully-transported sound bound on
+   |fast − exact| at a node is the width of the node's mean interval, since
+   both trajectories are enclosed in it). *)
+let max2_clark a b =
+  let mean_lo =
+    (C.max_exact
+       (C.moments ~mean:(I.lo a.mean) ~var:(Float.max 0.0 (I.lo a.var)))
+       (C.moments ~mean:(I.lo b.mean) ~var:(Float.max 0.0 (I.lo b.var))))
+      .C.mean
+  in
+  let mean_hi =
+    (C.max_exact
+       (C.moments ~mean:(I.hi a.mean) ~var:(I.hi a.var))
+       (C.moments ~mean:(I.hi b.mean) ~var:(I.hi b.var)))
+      .C.mean
+  in
+  let mean =
+    I.inflate_rel corner_eps
+      (I.v (Float.min mean_lo mean_hi) (Float.max mean_lo mean_hi))
+  in
+  (* E[max] ≥ max of the operand means — tightens the corner lower bound
+     and never loosens it (sound for the fast branches too, up to the step
+     inflation below: the cutoff returns the dominant operand's mean, which
+     is ≥ both operand lower bounds, and the blended mean is within one
+     step of exact). *)
+  let mean =
+    I.v (Float.max (I.lo mean) (Float.max (I.lo a.mean) (I.lo b.mean))) (I.hi mean)
+  in
+  let certain_cutoff = certain_cutoff a b in
+  let sp = spread_hi a b in
+  let mean_step = Budget.mean_step ~certain_cutoff ~spread_hi:sp in
+  let var_step = Budget.var_step ~certain_cutoff ~spread_hi:sp in
+  refine
+    {
+      mean = I.inflate mean_step mean;
+      (* Exact: Var(max) ≤ max(varA, varB) by the §9.1 identity; cutoff
+         returns an operand variance (≤ the max of the highs); blended is
+         within var_step of exact and clamped at 0 by Clark.max_fast. *)
+      var = I.v 0.0 (Float.succ (Float.max (I.hi a.var) (I.hi b.var) +. var_step));
+      support = support_max a b;
+      err_mean = Float.max a.err_mean b.err_mean +. mean_step;
+      err_sigma =
+        Float.max a.err_sigma b.err_sigma
+        +. Budget.sigma_step ~certain_cutoff ~spread_hi:sp;
+    }
+
+let max2_dist_free a b =
+  let mean_lo = Float.max (I.lo a.mean) (I.lo b.mean) in
+  (* E[max] = (μA+μB)/2 + E|A−B|/2 and E|A−B| ≤ sqrt(E(A−B)²)
+     = sqrt(varA + varB + (μA−μB)²); the bound is monotone in both means
+     and in the variance sum, so the high corner is sound. *)
+  let vhi = Float.succ (I.hi a.var +. I.hi b.var) in
+  let gap = I.hi a.mean -. I.hi b.mean in
+  let mean_hi =
+    Float.succ
+      (0.5 *. (I.hi a.mean +. I.hi b.mean +. Float.sqrt (vhi +. (gap *. gap))))
+  in
+  refine
+    {
+      mean = I.v mean_lo (Float.max mean_lo mean_hi);
+      var = I.v 0.0 vhi;
+      support = support_max a b;
+      err_mean = Float.max a.err_mean b.err_mean;
+      err_sigma = Float.max a.err_sigma b.err_sigma;
+    }
+
+let max2 semantics a b =
+  match semantics with
+  | Clark_normal -> max2_clark a b
+  | Distribution_free -> max2_dist_free a b
+
+let max_list semantics = function
+  | [] -> invalid_arg "Domain.max_list: empty operand list"
+  | x :: rest -> List.fold_left (max2 semantics) x rest
+
+let pad_resample ~samples t =
+  match t.support with
+  | None -> t
+  | Some s ->
+      (* resample's moment-preserving two-point split can place a point up
+         to (1 − 1/√2)/2 ≈ 0.2071 bin widths outside its bin; 0.25 pads
+         that with margin. Bin width is the (pre-pad) support width over
+         the sample budget. *)
+      let pad = 0.25 *. I.width s /. float_of_int (Stdlib.max 1 samples) in
+      refine
+        {
+          t with
+          support = Some (I.inflate pad s);
+          mean = I.inflate_rel resample_moment_eps t.mean;
+          var = clamp_var (I.inflate_rel resample_moment_eps t.var);
+        }
+
+let certified_mean t = t.mean
+let certified_sigma_hi t = Float.sqrt (I.hi t.var)
+
+let pp ppf t =
+  Fmt.pf ppf "@[mean %a var %a%a err(μ %.3g, σ %.3g)@]" I.pp t.mean I.pp t.var
+    (Fmt.option (fun ppf s -> Fmt.pf ppf " supp %a" I.pp s))
+    t.support t.err_mean t.err_sigma

@@ -1,0 +1,87 @@
+(** The statcheck abstract domain: a sound enclosure of one node's
+    arrival-time distribution, tracked as certified intervals on the mean
+    and variance, optional hard support bounds on realizations, and an
+    accumulated fast-vs-exact Clark error budget.
+
+    Two transfer semantics share the domain:
+
+    - {!Clark_normal} certifies the moments-only engines. The max transfer
+      is {e engine-inclusive}: its output enclosure contains the result of
+      exact Clark (corner evaluation of the exact formulas, sound because
+      E[max] is monotone in each operand mean and in the spread), of the
+      blended quadratic-Φ evaluation, and of the 2.6-cutoff short circuit
+      (the latter two within one certified {!Budget} step of exact Clark),
+      for any operand moments inside the input enclosures. Containment of a
+      whole FASSTA run — fast or [~exact:true] — follows by induction over
+      the propagation order, with no error transport. The variance upper
+      bound uses Var(max) ≤ max(varA, varB), an identity-based bound proved
+      for independent normals (DESIGN.md §9.1).
+    - {!Distribution_free} certifies FULLSSTA's discrete-pdf engine, whose
+      node distributions are not normal: E[max] ∈ [max(μA, μB),
+      (μA+μB)/2 + sqrt(varA+varB+(μA−μB)²)/2] and Var(max) ≤ varA + varB
+      hold for ANY independent operands, and hard support intervals (with
+      Popoviciu's inequality Var ≤ (width/2)²) absorb the discretization. *)
+
+type semantics = Clark_normal | Distribution_free
+
+type v = {
+  mean : Numerics.Interval.t;  (** certified enclosure of E[arrival] *)
+  var : Numerics.Interval.t;  (** certified enclosure of Var[arrival], lo ≥ 0 *)
+  support : Numerics.Interval.t option;
+      (** hard bounds on every realization, when tracked *)
+  err_mean : float;
+      (** first-order fast-vs-exact mean deviation budget: the certified
+          per-max-operation {!Budget.mean_step} bounds accumulated along the
+          deepest path. The fully-transported sound bound on
+          |fast − exact| at a node is the width of [mean], since both
+          engine trajectories are enclosed in it. *)
+  err_sigma : float;  (** first-order sigma deviation budget, same shape *)
+}
+
+val exact : ?support:Numerics.Interval.t -> Numerics.Clark.moments -> v
+(** Point abstraction of exactly-known moments (zero error budget). *)
+
+val make :
+  mean:Numerics.Interval.t ->
+  var:Numerics.Interval.t ->
+  ?support:Numerics.Interval.t ->
+  ?err_mean:float ->
+  ?err_sigma:float ->
+  unit ->
+  v
+(** Checked constructor: clamps [var.lo] at 0 and refines against the
+    support (mean ∈ support, Var ≤ (support width / 2)²). *)
+
+val sum : v -> v -> v
+(** Independent sum: means and variances add, supports add, budgets add. *)
+
+val max2 : semantics -> v -> v -> v
+(** Statistical max under the given semantics (see module doc). Under
+    {!Clark_normal} the enclosure is inflated by (and the budget accrues)
+    one certified {!Budget.mean_step}/{!Budget.var_step}, using the
+    cutoff-branch constants only when the certified mean gap proves
+    conditions (5)/(6) fire for every enclosed operand pair. *)
+
+val max_list : semantics -> v list -> v
+(** Left fold of {!max2} — the same association order as the engines' fanin
+    folds; raises [Invalid_argument] on the empty list. *)
+
+val pad_resample : samples:int -> v -> v
+(** Account for one [Discrete_pdf.resample] + renormalization step of the
+    FULLSSTA engine: widens the support by a quarter bin width per side
+    (resample's two-point moment-preserving split can overshoot its bin by
+    ≤ 0.2071 bin widths) and inflates the moment intervals by a relative
+    epsilon absorbing dropped sub-1e-12 masses. Identity on domain values
+    without support. *)
+
+val spread_hi : v -> v -> float
+(** Upper bound on the Clark spread sqrt(varA + varB) over all operand
+    moments inside the two enclosures. *)
+
+val certified_mean : v -> Numerics.Interval.t
+(** The enclosure every certified engine's computed mean must fall in. *)
+
+val certified_sigma_hi : v -> float
+(** Upper bound on every certified engine's computed sigma. *)
+
+val pp : v Fmt.t

@@ -1,0 +1,96 @@
+(* Dominance pruning from certified bounds.
+
+   Soundness of the skip set rests on two facts:
+
+   - output selection: an output o is discarded only when some other
+     output's certified mean LOWER bound exceeds o's certified mean UPPER
+     bound by margin joint sigmas, so under every distribution compatible
+     with the enclosures o sits margin sigmas below a competitor — far
+     beyond the 2.6 cutoff at which both SSTA engines already treat the
+     max as fully resolved;
+   - gate selection: a gate is skipped only when no directed path from it
+     reaches a kept output (it is outside every kept transitive fanin), so
+     its delay cannot enter RV_O except through discarded outputs, AND its
+     whole [isolation]-level fanin-driver neighbourhood is equally dead,
+     which closes the electrical side channel (resizing g changes g's pin
+     caps, hence its fanin drivers' loads, delays and output slews, which
+     sibling readers of those drivers observe). Primary inputs are exempt
+     from the neighbourhood test: they have no cell, a fixed arrival and a
+     configured slew, so extra load on them changes nothing. *)
+
+type t = {
+  margin : float;
+  circuit : Netlist.Circuit.t;
+  dominated : Netlist.Circuit.id list;
+  live : bool array;
+  skip_set : bool array;
+}
+
+let compute ?(margin = 4.0) ?(isolation = 2) sc =
+  if not (margin > 0.0) then invalid_arg "Dominance.compute: margin must be > 0";
+  if isolation < 0 then invalid_arg "Dominance.compute: negative isolation";
+  let circuit = Statcheck.circuit sc in
+  let n = Netlist.Circuit.size circuit in
+  let outputs = Netlist.Circuit.outputs circuit in
+  let lo o = Numerics.Interval.lo (Statcheck.mean_interval sc o) in
+  let hi o = Numerics.Interval.hi (Statcheck.mean_interval sc o) in
+  let dominates o' o =
+    (* o' certifiably beats o by margin joint sigmas. *)
+    let joint =
+      Float.succ (Float.sqrt (Statcheck.var_hi sc o +. Statcheck.var_hi sc o'))
+    in
+    let gap = lo o' -. hi o in
+    gap > 0.0 && gap >= margin *. joint
+  in
+  let dominated =
+    List.filter
+      (fun o -> List.exists (fun o' -> o' <> o && dominates o' o) outputs)
+      outputs
+  in
+  let live = Array.make n false in
+  let rec mark id =
+    if not live.(id) then begin
+      live.(id) <- true;
+      Array.iter mark (Netlist.Circuit.fanins circuit id)
+    end
+  in
+  List.iter (fun o -> if not (List.mem o dominated) then mark o) outputs;
+  let skip_set = Array.make n false in
+  List.iter
+    (fun id ->
+      let ok = ref (not live.(id)) in
+      let rec probe depth id =
+        if !ok && depth > 0 then
+          Array.iter
+            (fun fi ->
+              if not (Netlist.Circuit.is_input circuit fi) then
+                if live.(fi) then ok := false else probe (depth - 1) fi)
+            (Netlist.Circuit.fanins circuit id)
+      in
+      probe isolation id;
+      skip_set.(id) <- !ok)
+    (Netlist.Circuit.gates circuit);
+  { margin; circuit; dominated; live; skip_set }
+
+let margin t = t.margin
+let dominated_outputs t = t.dominated
+let skip t id = t.skip_set.(id)
+let skip_count t = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 t.skip_set
+
+let live_count t =
+  List.fold_left
+    (fun acc id -> if t.live.(id) then acc + 1 else acc)
+    0
+    (Netlist.Circuit.gates t.circuit)
+
+let pp ppf t =
+  Fmt.pf ppf
+    "@[<v>dominance %s (margin %g sigma): %d/%d outputs dominated@ %d/%d gates \
+     skippable (%d live)@]"
+    (Netlist.Circuit.name t.circuit)
+    t.margin
+    (List.length t.dominated)
+    (List.length (Netlist.Circuit.outputs t.circuit))
+    (skip_count t)
+    (Netlist.Circuit.gate_count t.circuit)
+    (live_count t)

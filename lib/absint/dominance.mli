@@ -1,0 +1,42 @@
+(** Structural dominance: prove that some gates can never lie on the WNSS
+    path, using only certified bounds.
+
+    An output [o] is {e certified-dominated} when some other output [o']'s
+    certified mean {e lower} bound beats [o]'s certified mean {e upper}
+    bound by at least [margin] joint sigmas (margin · sqrt(varhi(o) +
+    varhi(o'))). With the default margin 4 (> the paper's 2.6 cutoff), the
+    dominated output is statically outside every cutoff decision the WNSS
+    tracer can face, and its influence on RV_O's moments is bounded by the
+    Mills gap φ(m) − m·Φ(−m) per sigma — far below the sizer's
+    move-commit threshold.
+
+    Gates are then marked {e live} by walking the transitive fanin of every
+    non-dominated output; a gate is {e skippable} when itself and its whole
+    [isolation]-level transitive-fanin gate neighbourhood are non-live (the
+    isolation levels keep a skipped gate's resize from touching a live
+    cone through the load/slew side channels: resizing g changes g's input
+    pin caps, hence its fanin drivers' loads, delays and output slews,
+    which sibling readers of those drivers observe — two levels cover the
+    window evaluator's pivot + fanin co-sizing reach). *)
+
+type t
+
+val compute : ?margin:float -> ?isolation:int -> Statcheck.t -> t
+(** [margin] defaults to 4.0 joint sigmas, [isolation] to 2 fanin levels.
+    Expects (and is only meaningful for) a {!Statcheck.t} computed under
+    the current sizing. *)
+
+val margin : t -> float
+val dominated_outputs : t -> Netlist.Circuit.id list
+(** Outputs proven to never carry the WNSS path, with their cones. *)
+
+val skip : t -> Netlist.Circuit.id -> bool
+(** True when the gate is proven safe to leave out of sizer evaluation. *)
+
+val skip_count : t -> int
+(** Number of skippable gates. *)
+
+val live_count : t -> int
+(** Number of gates feeding some non-dominated output. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,33 @@
+(* Deep spine + shallow satellite cone, structurally disjoint (not even
+   shared primary inputs), so dominance analysis can prove the satellite
+   skippable with any isolation radius. The spine alternates XOR2 (fresh
+   input each level, keeping every level 2-ary and irredundant) with NAND2
+   pairs feeding both spine outputs, so it levelizes to [depth] and carries
+   all of RV_O's probability mass. *)
+
+let generate ?(name = "lopsided") ?(depth = 28) ?(shallow_bits = 4) ~lib () =
+  if depth < 4 then invalid_arg "Lopsided.generate: depth < 4";
+  if shallow_bits < 2 then invalid_arg "Lopsided.generate: shallow_bits < 2";
+  let bld =
+    Netlist.Build.create ~lib ~name:(Printf.sprintf "%s_%d" name depth) ()
+  in
+  (* Deep block: a chain where level i xors in a fresh primary input, so no
+     level collapses and the arrival grows linearly with depth. *)
+  let seeds = Netlist.Build.inputs bld ~prefix:"dp" ~count:(depth + 1) in
+  let spine = ref seeds.(0) in
+  for i = 1 to depth - 1 do
+    spine := Netlist.Build.xor2 bld !spine seeds.(i)
+  done;
+  let deep_a = Netlist.Build.xor2 bld !spine seeds.(depth) in
+  let deep_b = Netlist.Build.nand bld [ !spine; seeds.(depth) ] in
+  ignore (Netlist.Build.output bld deep_a);
+  ignore (Netlist.Build.output bld deep_b);
+  (* Shallow block: private inputs, two logic levels, one output. *)
+  let sh = Netlist.Build.inputs bld ~prefix:"sh" ~count:(2 * shallow_bits) in
+  let pairs =
+    Array.init shallow_bits (fun i ->
+        Netlist.Build.and_ bld [ sh.(2 * i); sh.((2 * i) + 1) ])
+  in
+  let shallow_out = Netlist.Build.or_ bld (Array.to_list pairs) in
+  ignore (Netlist.Build.output bld shallow_out);
+  Netlist.Build.finish bld

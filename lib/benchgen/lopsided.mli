@@ -1,0 +1,20 @@
+(** Two electrically disjoint blocks of very different depth sharing no
+    nodes at all: a deep XOR/NAND spine whose outputs dominate RV_O, and a
+    shallow cone whose outputs sit dozens of joint sigmas below it.
+
+    Purpose-built for the dominance-pruning contract: statcheck certifies
+    the shallow outputs as dominated, every shallow gate is skippable (its
+    whole fanin neighbourhood is dead), and — because the gap is far beyond
+    the 2.6 cutoff — resizing shallow gates cannot move the global
+    objective, so pruned and unpruned sizer runs provably coincide. *)
+
+val generate :
+  ?name:string ->
+  ?depth:int ->
+  ?shallow_bits:int ->
+  lib:Cells.Library.t ->
+  unit ->
+  Netlist.Circuit.t
+(** [depth] (default 28) is the deep spine's gate depth; [shallow_bits]
+    (default 4) sizes the shallow cone (2 logic levels over
+    2·shallow_bits private inputs). *)

@@ -101,6 +101,8 @@ type result = {
   stop_reason : stop_reason;
   total_resizes : int;
   cutoff_fraction : float; (* FASSTA (5)/(6) hit rate across the whole run *)
+  windows_evaluated : int; (* gate windows actually scored *)
+  windows_skipped : int; (* path gates certified inert and pruned *)
   runtime_s : float;
 }
 
@@ -113,8 +115,16 @@ let fullssta_config config =
 
 (* One outer iteration: trace the WNSS path, evaluate every gate on it,
    apply resizes per the commit mode. Returns the applied resizes
-   (gate, previous, new) for potential rollback. *)
-let run_iteration config ~lib circuit full stats_acc =
+   (gate, previous, new) for potential rollback, plus window counts:
+   (schedule, path_length, windows_evaluated, windows_skipped).
+
+   [skip], when present, is Absint.Dominance's certified skip predicate: the
+   gate provably cannot influence the WNSS objective under the current
+   sizing (its whole cone is margin-sigma dominated and electrically
+   isolated from every live gate), so its window evaluation is pure cost.
+   Every root is still traced — pruning filters gates, not outputs, so the
+   path itself is identical to the unpruned run's. *)
+let run_iteration config ~lib ?skip circuit full stats_acc =
   (* The statistical traces do not depend on α (they rank by variance
      structure); at α = 0 the cone still covers the deterministic critical
      forest plus the near-critical siblings whose pin loads burden critical
@@ -127,6 +137,11 @@ let run_iteration config ~lib circuit full stats_acc =
   in
   let gates_on_path =
     List.filter (fun id -> not (Netlist.Circuit.is_input circuit id)) path
+  in
+  let visited =
+    match skip with
+    | None -> gates_on_path
+    | Some p -> List.filter (fun id -> not (p id)) gates_on_path
   in
   let window =
     Window.create ~mode:config.evaluation ~area_weight:config.area_weight
@@ -162,7 +177,7 @@ let run_iteration config ~lib circuit full stats_acc =
           | Batch -> pending := List.rev_append moves !pending
         end
       end)
-    gates_on_path;
+    visited;
   List.iter
     (fun (gate, _, best) -> Netlist.Circuit.set_cell circuit gate best)
     !pending;
@@ -170,9 +185,13 @@ let run_iteration config ~lib circuit full stats_acc =
   stats_acc :=
     ( fst !stats_acc + w_stats.Ssta.Fassta.cutoff_hits,
       snd !stats_acc + w_stats.Ssta.Fassta.blended );
-  (List.rev_append !pending !applied, List.length path)
+  ( List.rev_append !pending !applied,
+    List.length path,
+    List.length visited,
+    List.length gates_on_path - List.length visited )
 
-let optimize ?(ignore_lint = false) ?(config = default_config) ~lib circuit =
+let optimize ?(ignore_lint = false) ?(prune = false) ?(config = default_config)
+    ~lib circuit =
   (* Preflight: refuse garbage inputs before the first FULLSSTA. Errors
      raise Lint.Preflight.Rejected (unless the caller opted out); warnings
      are logged and the run proceeds. *)
@@ -232,10 +251,33 @@ let optimize ?(ignore_lint = false) ?(config = default_config) ~lib circuit =
   in
   let best_cost = ref (judge_cost ()) in
   let best_cells = ref (snapshot ()) in
+  (* Certified dominance pruning (opt-in): recomputed every iteration
+     because resizes move the enclosures. The statcheck pass is Clark-mode
+     over the current sizing — O(nodes) interval work, negligible next to
+     the FULLSSTA it precedes. *)
+  let dominance_skip () =
+    if not prune then None
+    else
+      let sc_config =
+        {
+          Absint.Statcheck.default_config with
+          Absint.Statcheck.model = config.model;
+          electrical = config.electrical;
+        }
+      in
+      let sc = Absint.Statcheck.run ~config:sc_config ~lib circuit in
+      let dom = Absint.Dominance.compute sc in
+      Some (Absint.Dominance.skip dom)
+  in
+  let windows = ref (0, 0) in
   let rec loop index full misses history resizes =
     if index >= config.max_iterations then (Iteration_limit, history, resizes)
     else begin
-      let schedule, path_length = run_iteration config ~lib circuit full stats_acc in
+      let schedule, path_length, evaluated, skipped =
+        run_iteration config ~lib ?skip:(dominance_skip ()) circuit full
+          stats_acc
+      in
+      windows := (fst !windows + evaluated, snd !windows + skipped);
       match schedule with
       | [] -> (No_candidate, history, resizes)
       | _ ->
@@ -284,6 +326,8 @@ let optimize ?(ignore_lint = false) ?(config = default_config) ~lib circuit =
     cutoff_fraction =
       (let total = cutoff_hits + blended in
        if total = 0 then Float.nan else float_of_int cutoff_hits /. float_of_int total);
+    windows_evaluated = fst !windows;
+    windows_skipped = snd !windows;
     runtime_s = Sys.time () -. started;
   }
 
@@ -318,12 +362,17 @@ let pp_result ppf r =
     if Float.is_nan f then Fmt.string ppf "n/a"
     else Fmt.pf ppf "%.0f%%" (100.0 *. f)
   in
+  let pp_pruned ppf r =
+    if r.windows_skipped > 0 then
+      Fmt.pf ppf " (%d windows pruned of %d)" r.windows_skipped
+        (r.windows_evaluated + r.windows_skipped)
+  in
   Fmt.pf ppf
     "@[<v>alpha=%g: mu %.1f -> %.1f, sigma %.2f -> %.2f, area %.1f -> %.1f@ %d \
-     iterations, %d resizes, cutoff %a, %.2fs (%a)@]"
+     iterations, %d resizes%a, cutoff %a, %.2fs (%a)@]"
     (Objective.alpha r.config.objective)
     r.initial_moments.Numerics.Clark.mean r.final_moments.Numerics.Clark.mean s0 s1
     r.initial_area r.final_area
     (List.length r.iterations)
-    r.total_resizes pp_cutoff r.cutoff_fraction r.runtime_s pp_stop_reason
-    r.stop_reason
+    r.total_resizes pp_pruned r pp_cutoff r.cutoff_fraction r.runtime_s
+    pp_stop_reason r.stop_reason

@@ -61,11 +61,16 @@ type result = {
   stop_reason : stop_reason;
   total_resizes : int;
   cutoff_fraction : float;
+  windows_evaluated : int;
+      (** gate windows actually scored across all iterations *)
+  windows_skipped : int;
+      (** path gates statically certified inert and skipped ([prune] only) *)
   runtime_s : float;
 }
 
 val optimize :
   ?ignore_lint:bool ->
+  ?prune:bool ->
   ?config:config ->
   lib:Cells.Library.t ->
   Netlist.Circuit.t ->
@@ -74,7 +79,18 @@ val optimize :
     library, and variation model): Error-level findings raise
     {!Lint.Preflight.Rejected} unless [ignore_lint] is set; warnings are
     logged. After the run, LUT extrapolation observed during sizing is
-    logged once per cell (LIB007). *)
+    logged once per cell (LIB007).
+
+    [prune] (default false) turns on certified dominance pruning: before
+    each iteration's window sweep, an {!Absint.Statcheck} pass over the
+    current sizing feeds {!Absint.Dominance}, and path gates in its skip
+    set — provably unable to influence RV_O's worst slack, and electrically
+    isolated from every live gate — are not window-evaluated. Roots are
+    never filtered, so the traced path is the unpruned run's; with the
+    default [Window.Global] evaluation the final sizing is provably
+    identical (skipped gates' window gains are below [move_threshold] by
+    the dominance margin), only cheaper. [windows_skipped] reports the
+    savings. *)
 
 val mean_change_pct :
   original:Numerics.Clark.moments -> optimized:result -> float

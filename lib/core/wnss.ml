@@ -98,15 +98,29 @@ let circuit_contributions ~model circuit full =
                (fi, Numerics.Clark.sum (Ssta.Fullssta.moments full fi) arc))
              fanins)
 
+(* Optional root pruning: [skip] marks outputs statically proven to never
+   carry the WNSS path (e.g. Absint.Dominance's certified-dominated set).
+   Filtering is only sound for such predicates, so it is opt-in; if a
+   predicate discards every root we fall back to the full set rather than
+   trace nothing. *)
+let filter_roots skip roots =
+  match skip with
+  | None -> roots
+  | Some p -> (
+      match List.filter (fun (r, _) -> not (p r)) roots with
+      | [] -> roots
+      | kept -> kept)
+
 (* Standard trace on a FULLSSTA-annotated circuit: from the dominant output
    of the virtual RV_O max node down to a primary input. *)
-let trace ?config:cfg ~model circuit full =
+let trace ?config:cfg ?skip ~model circuit full =
   let t = match cfg with Some c -> c | None -> of_model model in
   let contributions = circuit_contributions ~model circuit full in
   let roots =
-    List.map
-      (fun o -> (o, Ssta.Fullssta.moments full o))
-      (Netlist.Circuit.outputs circuit)
+    filter_roots skip
+      (List.map
+         (fun o -> (o, Ssta.Fullssta.moments full o))
+         (Netlist.Circuit.outputs circuit))
   in
   trace_generic t ~contributions ~roots
 
@@ -152,7 +166,7 @@ let cone_generic t ~contributions ~roots =
     roots;
   Hashtbl.fold (fun id () acc -> id :: acc) seen [] |> List.sort Stdlib.compare
 
-let critical_cone ?config:cfg ~model circuit full =
+let critical_cone ?config:cfg ?skip ~model circuit full =
   let t = match cfg with Some c -> c | None -> of_model model in
   let contributions id =
     match Netlist.Circuit.cell circuit id with
@@ -168,9 +182,10 @@ let critical_cone ?config:cfg ~model circuit full =
              fanins)
   in
   let roots =
-    List.map
-      (fun o -> (o, Ssta.Fullssta.moments full o))
-      (Netlist.Circuit.outputs circuit)
+    filter_roots skip
+      (List.map
+         (fun o -> (o, Ssta.Fullssta.moments full o))
+         (Netlist.Circuit.outputs circuit))
   in
   cone_generic t ~contributions ~roots
 
@@ -185,10 +200,18 @@ let trace_from_output ?config:cfg ~model circuit full output =
    the whole statistical-critical forest. All outputs contribute to RV_O's
    variance (paper §2.1), so the sizer sweeps every per-output path rather
    than re-saturating the single dominant one. *)
-let trace_all_outputs ?config:cfg ~model circuit full =
+let trace_all_outputs ?config:cfg ?skip ~model circuit full =
   let t = match cfg with Some c -> c | None -> of_model model in
   let contributions = circuit_contributions ~model circuit full in
   let seen = Hashtbl.create 997 in
+  let outputs =
+    List.map
+      (fun (o, _) -> o)
+      (filter_roots skip
+         (List.map
+            (fun o -> (o, Ssta.Fullssta.moments full o))
+            (Netlist.Circuit.outputs circuit)))
+  in
   List.iter
     (fun o ->
       let path =
@@ -196,6 +219,6 @@ let trace_all_outputs ?config:cfg ~model circuit full =
           ~roots:[ (o, Ssta.Fullssta.moments full o) ]
       in
       List.iter (fun id -> Hashtbl.replace seen id ()) path)
-    (Netlist.Circuit.outputs circuit);
+    outputs;
   Hashtbl.fold (fun id () acc -> id :: acc) seen []
   |> List.sort Stdlib.compare

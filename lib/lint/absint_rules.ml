@@ -1,0 +1,131 @@
+(* ABS001–ABS005: concrete engine results vs certified enclosures. *)
+
+module I = Numerics.Interval
+module D = Absint.Domain
+
+let require sc want fn =
+  let got = (Absint.Statcheck.config sc).Absint.Statcheck.semantics in
+  if got <> want then
+    invalid_arg
+      (Printf.sprintf "Absint_rules.%s: needs a %s statcheck run" fn
+         (match want with
+         | D.Clark_normal -> "Clark-normal"
+         | D.Distribution_free -> "distribution-free"))
+
+(* Relative slack scaled to the magnitude of the quantity compared, so the
+   checks behave identically at 10 ps and 10 ns arrivals. *)
+let slack tol x = tol *. (1.0 +. Float.abs x)
+
+let node_loc circuit id = Diag.Net (Netlist.Circuit.node_name circuit id)
+
+let fold_nodes sc f =
+  let circuit = Absint.Statcheck.circuit sc in
+  let acc = ref [] in
+  Netlist.Circuit.iter_nodes circuit ~f:(fun id ->
+      acc := List.rev_append (f circuit id (Absint.Statcheck.state sc id)) !acc);
+  List.rev !acc
+
+let mean_outside ?(tol = 1e-9) (st : D.v) m =
+  let iv = D.certified_mean st in
+  not (I.contains ~tol:(slack tol (Float.max (Float.abs (I.lo iv)) (Float.abs (I.hi iv)))) iv m)
+
+let check_fullssta ?(tol = 1e-9) sc moments_of =
+  require sc D.Distribution_free "check_fullssta";
+  fold_nodes sc (fun circuit id st ->
+      let m = moments_of id in
+      let loc = node_loc circuit id in
+      let mean_bad =
+        if mean_outside ~tol st m.Numerics.Clark.mean then
+          [
+            Diag.errorf ~code:"ABS001" ~loc
+              ~hint:
+                "either the discrete-pdf engine corrupted the arrival or the \
+                 certifier's model diverged from the engine's configuration \
+                 (samples, span, electrical state)"
+              "FULLSSTA mean %.6f outside certified interval %a" m.Numerics.Clark.mean
+              I.pp st.D.mean;
+          ]
+        else []
+      in
+      let var_hi = I.hi st.D.var in
+      let var_bad =
+        if m.Numerics.Clark.var > var_hi +. slack tol var_hi then
+          [
+            Diag.errorf ~code:"ABS002" ~loc
+              "FULLSSTA variance %.6f above certified bound %.6f"
+              m.Numerics.Clark.var var_hi;
+          ]
+        else []
+      in
+      mean_bad @ var_bad)
+
+let engine_name = function `Fast -> "fast" | `Exact -> "exact"
+
+let check_fassta ?(tol = 1e-9) ~engine sc moments_of =
+  require sc D.Clark_normal "check_fassta";
+  fold_nodes sc (fun circuit id st ->
+      let m = moments_of id in
+      let loc = node_loc circuit id in
+      let mean_bad =
+        if mean_outside ~tol st m.Numerics.Clark.mean then
+          [
+            Diag.errorf ~code:"ABS003" ~loc
+              ~hint:
+                "the enclosure admits the exact, blended and cutoff branches \
+                 alike; escaping it means the moment algebra (or the \
+                 certifier's arc model) is broken"
+              "FASSTA (%s) mean %.6f outside certified interval %a"
+              (engine_name engine) m.Numerics.Clark.mean I.pp st.D.mean;
+          ]
+        else []
+      in
+      let sigma_hi = D.certified_sigma_hi st in
+      let sigma = Numerics.Clark.sigma m in
+      let sigma_bad =
+        if sigma > sigma_hi +. slack tol sigma_hi then
+          [
+            Diag.errorf ~code:"ABS003" ~loc
+              "FASSTA (%s) sigma %.6f above certified bound %.6f"
+              (engine_name engine) sigma sigma_hi;
+          ]
+        else []
+      in
+      mean_bad @ sigma_bad)
+
+let check_budget ?(tol = 1e-9) sc ~fast ~exact =
+  require sc D.Clark_normal "check_budget";
+  fold_nodes sc (fun circuit id st ->
+      let mf = (fast id).Numerics.Clark.mean in
+      let me = (exact id).Numerics.Clark.mean in
+      let gap = Float.abs (mf -. me) in
+      let bound = Float.max st.D.err_mean (I.width st.D.mean) in
+      if gap > bound +. slack tol bound then
+        [
+          Diag.errorf ~code:"ABS004" ~loc:(node_loc circuit id)
+            "fast-vs-exact mean gap %.6f exceeds certified bound %.6f (budget \
+             %.6f, interval width %.6f)"
+            gap bound st.D.err_mean
+            (I.width st.D.mean);
+        ]
+      else [])
+
+let check_budget_tolerance ?(tol = 0.05) sc =
+  require sc D.Clark_normal "check_budget_tolerance";
+  let budget = Absint.Statcheck.output_budget sc in
+  let scale =
+    Float.max 1.0 (I.hi (Absint.Statcheck.rv_state sc).D.mean)
+  in
+  if budget > tol *. scale then
+    [
+      Diag.warningf ~code:"ABS005" ~loc:Diag.Circuit
+        ~hint:
+          "deep or strongly reconvergent topologies accumulate one \
+           cutoff/quadratic-erf step per level; prefer the exact engine (or \
+           tighten the variation model) when the budget matters"
+        "accumulated FASSTA budget %.1f ps is %.1f%% of the certified RV_O \
+         mean bound %.1f ps (tolerance %.0f%%)"
+        budget
+        (100.0 *. budget /. scale)
+        scale (100.0 *. tol);
+    ]
+  else []

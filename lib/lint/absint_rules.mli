@@ -1,0 +1,49 @@
+(** The abstract-interpretation rule pack (ABS001–ABS005): cross-checks of
+    concrete SSTA engine results against statcheck's certified enclosures.
+    Any violation is an engine (or certifier) defect — the enclosures are
+    sound by construction — so the containment rules default to Error.
+
+    The engine results come in as lookup functions rather than engine
+    handles, keeping this library independent of [ssta]: pass
+    [Ssta.Fullssta.moments full] or an indexing closure over
+    [Ssta.Fassta.run]'s array. *)
+
+val check_fullssta :
+  ?tol:float ->
+  Absint.Statcheck.t ->
+  (Netlist.Circuit.id -> Numerics.Clark.moments) ->
+  Diag.t list
+(** ABS001/ABS002 per node: the FULLSSTA mean must lie in the certified
+    mean interval and the variance below the certified bound. Requires a
+    {!Absint.Domain.Distribution_free} run (raises [Invalid_argument]
+    otherwise — Clark-normal enclosures do not certify discrete pdfs).
+    [tol] is a relative slack (default 1e-9) scaled by the interval
+    endpoints' magnitude. *)
+
+val check_fassta :
+  ?tol:float ->
+  engine:[ `Fast | `Exact ] ->
+  Absint.Statcheck.t ->
+  (Netlist.Circuit.id -> Numerics.Clark.moments) ->
+  Diag.t list
+(** ABS003 per node: the engine's moments must lie inside the Clark-normal
+    enclosure (mean in interval, sigma below bound). Works for both the
+    quadratic-erf engine and the [~exact:true] one — the enclosure is
+    engine-inclusive. Requires a {!Absint.Domain.Clark_normal} run (raises
+    [Invalid_argument] otherwise). *)
+
+val check_budget :
+  ?tol:float ->
+  Absint.Statcheck.t ->
+  fast:(Netlist.Circuit.id -> Numerics.Clark.moments) ->
+  exact:(Netlist.Circuit.id -> Numerics.Clark.moments) ->
+  Diag.t list
+(** ABS004 per node: |fast mean − exact mean| must not exceed the certified
+    deviation bound max(accumulated step budget, mean-interval width).
+    Requires a Clark-normal run. *)
+
+val check_budget_tolerance : ?tol:float -> Absint.Statcheck.t -> Diag.t list
+(** ABS005 (Warning): flags the circuit when the accumulated output budget
+    exceeds [tol] (default 0.05) as a fraction of the certified RV_O mean
+    upper bound — FASSTA is formally certified but only loosely. Requires a
+    Clark-normal run. *)

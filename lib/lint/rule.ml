@@ -2,7 +2,7 @@
    never reused or renumbered, so CI greps and severity overrides stay
    stable across releases. *)
 
-type pack = Circuit_pack | Library_pack | Stat_pack | Bench_pack
+type pack = Circuit_pack | Library_pack | Stat_pack | Bench_pack | Abs_pack
 
 type meta = {
   code : string;
@@ -76,6 +76,26 @@ let all =
     mk "STAT004" Stat_pack e "Clark precondition a > 0 violated"
       "Clark's max formulas divide by a = sqrt(varA + varB - 2*cov); a \
        zero-sigma model degenerates every max";
+    mk "ABS001" Abs_pack e "FULLSSTA mean escapes its certified interval"
+      "statcheck's distribution-free enclosures are sound for any engine \
+       faithful to the model; a mean outside them is an engine defect, not \
+       noise";
+    mk "ABS002" Abs_pack e "FULLSSTA variance exceeds its certified bound"
+      "Var(max) <= varA + varB and Popoviciu's support bound hold for any \
+       independent operands; crossing them means the pdf algebra corrupted \
+       second moments";
+    mk "ABS003" Abs_pack e "FASSTA moments escape the certified enclosure"
+      "the Clark-normal enclosures contain the exact, blended and \
+       cutoff-branch evaluations for any operands inside them — both \
+       FASSTA engines must land inside at every node";
+    mk "ABS004" Abs_pack e "fast-vs-exact deviation exceeds the certified bound"
+      "both engine trajectories are enclosed in the same mean interval, so \
+       their pointwise gap is bounded by its width (and first-order by the \
+       accumulated step budget)";
+    mk "ABS005" Abs_pack w "circuit-wide FASSTA error budget above tolerance"
+      "when the accumulated cutoff/quadratic-erf budget at the outputs is a \
+       large fraction of the arrival itself, FASSTA is operating outside \
+       its certified-accuracy regime on this circuit";
     mk "BENCH001" Bench_pack e "bench syntax error"
       "the .bench grammar: NAME = OP(args) and INPUT/OUTPUT declarations";
     mk "BENCH002" Bench_pack e "unsupported gate or arity"
@@ -91,6 +111,7 @@ let pack_name = function
   | Library_pack -> "library"
   | Stat_pack -> "statistical"
   | Bench_pack -> "bench"
+  | Abs_pack -> "abstract"
 
 let pp_meta ppf m =
   Fmt.pf ppf "%s [%s, default %a] %s — %s" m.code (pack_name m.pack)

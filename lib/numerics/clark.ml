@@ -77,10 +77,20 @@ let max_fast_resolved a b =
 
 let max_fast a b = fst (max_fast_resolved a b)
 
+(* The max over an empty operand set has no distribution (a fold over
+   nothing would have to invent a neutral element, and -inf is not a normal
+   random variable), so both list forms reject it loudly instead of leaking
+   a bogus value into an arrival-time propagation. *)
 let max_exact_list = function
-  | [] -> invalid_arg "Clark.max_exact_list: empty"
+  | [] ->
+      invalid_arg
+        "Clark.max_exact_list: empty operand list (the max of zero random \
+         variables is undefined; callers must supply at least one arrival)"
   | m :: rest -> List.fold_left (fun acc x -> max_exact acc x) m rest
 
 let max_fast_list = function
-  | [] -> invalid_arg "Clark.max_fast_list: empty"
+  | [] ->
+      invalid_arg
+        "Clark.max_fast_list: empty operand list (the max of zero random \
+         variables is undefined; callers must supply at least one arrival)"
   | m :: rest -> List.fold_left (fun acc x -> max_fast acc x) m rest

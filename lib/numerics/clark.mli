@@ -37,4 +37,10 @@ val max_fast_resolved : moments -> moments -> moments * resolution
 (** Like {!max_fast} but also reports which branch resolved the max. *)
 
 val max_exact_list : moments list -> moments
+(** Left fold of {!max_exact}. Raises [Invalid_argument] with a descriptive
+    message on the empty list — the max of zero random variables has no
+    distribution, so there is no sound neutral element to return. *)
+
 val max_fast_list : moments list -> moments
+(** Left fold of {!max_fast}; raises [Invalid_argument] on the empty list
+    (same contract as {!max_exact_list}). *)

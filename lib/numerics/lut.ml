@@ -55,8 +55,7 @@ let in_range t ~row ~col = in_range_axis t.rows row && in_range_axis t.cols col
 let oob_count t = t.oob_queries
 let reset_oob t = t.oob_queries <- 0
 
-let query t ~row ~col =
-  if not (in_range t ~row ~col) then t.oob_queries <- t.oob_queries + 1;
+let eval t ~row ~col =
   let i, fr = locate t.rows row in
   let j, fc = locate t.cols col in
   let v00 = t.values.(i).(j) in
@@ -69,6 +68,40 @@ let query t ~row ~col =
     and v11 = t.values.(i1).(j1) in
     ((1.0 -. fr) *. (((1.0 -. fc) *. v00) +. (fc *. v01)))
     +. (fr *. (((1.0 -. fc) *. v10) +. (fc *. v11)))
+
+let query t ~row ~col =
+  if not (in_range t ~row ~col) then t.oob_queries <- t.oob_queries + 1;
+  eval t ~row ~col
+
+(* Hull of the interpolated surface over a box of query points. The clamped
+   bilinear surface restricted to any axis-aligned box is piecewise bilinear
+   with breakpoints on the grid lines, and a bilinear patch on a box attains
+   its extremes at the box corners — so evaluating at every (row, col) pair
+   drawn from {box edges} ∪ {grid lines crossing the box} covers the true
+   min/max exactly. Certification queries go through here rather than
+   [query] so sweeping hypothetical operating boxes does not pollute the
+   out-of-bounds counter (LIB007 reports real runtime queries only). *)
+let range t ~row:(rlo, rhi) ~col:(clo, chi) =
+  if not (rlo <= rhi && clo <= chi) then invalid_arg "Lut.range: empty box";
+  let axis_points axis lo hi =
+    let inside =
+      Array.to_list axis |> List.filter (fun x -> x > lo && x < hi)
+    in
+    lo :: (inside @ [ hi ])
+  in
+  let rows_pts = axis_points t.rows rlo rhi in
+  let cols_pts = axis_points t.cols clo chi in
+  let min_v = ref infinity and max_v = ref neg_infinity in
+  List.iter
+    (fun row ->
+      List.iter
+        (fun col ->
+          let v = eval t ~row ~col in
+          if v < !min_v then min_v := v;
+          if v > !max_v then max_v := v)
+        cols_pts)
+    rows_pts;
+  (!min_v, !max_v)
 
 let rows t = Array.copy t.rows
 let cols t = Array.copy t.cols

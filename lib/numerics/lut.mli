@@ -14,6 +14,14 @@ val query : t -> row:float -> col:float -> float
 (** Bilinear interpolation; queries outside the grid clamp to the edge and
     bump the table's out-of-bounds counter (see {!oob_count}). *)
 
+val range : t -> row:float * float -> col:float * float -> float * float
+(** [(min, max)] of the clamped bilinear surface over the query box
+    [row × col]. Exact for the piecewise-bilinear surface (extremes are
+    attained on box corners and grid-line crossings, all of which are
+    evaluated). Unlike {!query}, never bumps the out-of-bounds counter —
+    this is the certification entry point for sweeping hypothetical
+    operating boxes. Raises [Invalid_argument] on an empty box. *)
+
 val in_range : t -> row:float -> col:float -> bool
 (** Whether a query point lies inside the table (no clamping needed). Does
     not touch the out-of-bounds counter. *)

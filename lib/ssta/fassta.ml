@@ -22,7 +22,11 @@ let record stats resolution =
 
 let cutoff_fraction stats =
   let total = stats.cutoff_hits + stats.blended in
-  if total = 0 then Float.nan
+  (* No max operations recorded means the cutoff never had a chance to fire:
+     report a hit rate of zero rather than nan, so the value stays usable in
+     arithmetic and comparisons (callers that want to display "no data"
+     distinctly can test [total] themselves via the stats fields). *)
+  if total = 0 then 0.0
   else float_of_int stats.cutoff_hits /. float_of_int total
 
 (* Moments of one fanin arc's delay. *)

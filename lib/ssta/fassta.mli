@@ -6,7 +6,11 @@ type stats = { mutable cutoff_hits : int; mutable blended : int }
     paper observes it fires "in the vast majority of cases". *)
 
 val make_stats : unit -> stats
+
 val cutoff_fraction : stats -> float
+(** Fraction of recorded max operations resolved by the cutoff. Returns [0.]
+    (not nan) when no max operations were recorded at all — callers needing
+    to distinguish "no data" from "never fired" can inspect the counters. *)
 
 val arc_moments :
   Variation.Model.t ->

@@ -192,6 +192,52 @@ let triggers : (string * (unit -> Diag.t list)) list =
           (Variation.Model.create ~systematic:0.0 ~random_floor:0.0 ()) );
     ("BENCH001", fun () -> Netlist.Bench_io.lint bench_syntax);
     ("BENCH002", fun () -> Netlist.Bench_io.lint bench_gate);
+    (* ABS rules: statcheck runs over the tiny circuit cross-checked against
+       deliberately corrupted engine lookups (a sound enclosure can only be
+       escaped by feeding it a lie). *)
+    ( "ABS001",
+      fun () ->
+        let sc =
+          Absint.Statcheck.run
+            ~config:
+              {
+                Absint.Statcheck.default_config with
+                semantics = Absint.Domain.Distribution_free;
+              }
+            ~lib (tiny_circuit ())
+        in
+        Lint.Absint_rules.check_fullssta sc (fun _ ->
+            Numerics.Clark.moments ~mean:1e7 ~var:0.0) );
+    ( "ABS002",
+      fun () ->
+        let sc =
+          Absint.Statcheck.run
+            ~config:
+              {
+                Absint.Statcheck.default_config with
+                semantics = Absint.Domain.Distribution_free;
+              }
+            ~lib (tiny_circuit ())
+        in
+        Lint.Absint_rules.check_fullssta sc (fun id ->
+            Numerics.Clark.moments
+              ~mean:(Numerics.Interval.mid (Absint.Statcheck.mean_interval sc id))
+              ~var:1e9) );
+    ( "ABS003",
+      fun () ->
+        let sc = Absint.Statcheck.run ~lib (tiny_circuit ()) in
+        Lint.Absint_rules.check_fassta ~engine:`Fast sc (fun _ ->
+            Numerics.Clark.moments ~mean:1e7 ~var:0.0) );
+    ( "ABS004",
+      fun () ->
+        let sc = Absint.Statcheck.run ~lib (tiny_circuit ()) in
+        Lint.Absint_rules.check_budget sc
+          ~fast:(fun _ -> Numerics.Clark.moments ~mean:1e7 ~var:0.0)
+          ~exact:(fun _ -> Numerics.Clark.moments ~mean:0.0 ~var:0.0) );
+    ( "ABS005",
+      fun () ->
+        let sc = Absint.Statcheck.run ~lib (tiny_circuit ()) in
+        Lint.Absint_rules.check_budget_tolerance ~tol:0.0 sc );
   ]
 
 let trigger_tests =

@@ -178,14 +178,63 @@ let clark_negative_var_rejected () =
     (Invalid_argument "Clark.moments: negative variance") (fun () ->
       ignore (Numerics.Clark.moments ~mean:0.0 ~var:(-1.0)))
 
+(* The 2.6-cutoff boundary, straddled from both sides at unit spread
+   (var 0.5 + 0.5 so alpha = gap exactly): the resolved branch must flip
+   exactly at alpha = 2.6, and whichever branch fires must stay within the
+   statically certified one-step error constants of the exact max
+   (Absint.Budget's k_* — the same constants statcheck's enclosures use). *)
+let clark_cutoff_boundary () =
+  let check_gap gap expect_left =
+    let a = Numerics.Clark.moments ~mean:gap ~var:0.5 in
+    let b = Numerics.Clark.moments ~mean:0.0 ~var:0.5 in
+    let sp = Numerics.Clark.spread a b in
+    close ~tol:1e-12 "unit spread" 1.0 sp;
+    let f, res = Numerics.Clark.max_fast_resolved a b in
+    let f' = Numerics.Clark.max_fast a b in
+    close ~tol:0.0 "max_fast matches resolved mean" f'.Numerics.Clark.mean
+      f.Numerics.Clark.mean;
+    close ~tol:0.0 "max_fast matches resolved var" f'.Numerics.Clark.var
+      f.Numerics.Clark.var;
+    let name = Printf.sprintf "gap %.3f" gap in
+    (match (res, expect_left) with
+    | Numerics.Clark.Left_dominates, true | Numerics.Clark.Blended, false -> ()
+    | r, _ ->
+        Alcotest.failf "%s: unexpected resolution %s" name
+          (match r with
+          | Numerics.Clark.Left_dominates -> "Left_dominates"
+          | Numerics.Clark.Right_dominates -> "Right_dominates"
+          | Numerics.Clark.Blended -> "Blended"));
+    let e = Numerics.Clark.max_exact a b in
+    let k_mean, k_var =
+      if expect_left then (Absint.Budget.k_cutoff_mean, Absint.Budget.k_cutoff_var)
+      else (Absint.Budget.k_blend_mean, Absint.Budget.k_blend_var)
+    in
+    check_true (name ^ ": mean within certified step")
+      (Float.abs (f.Numerics.Clark.mean -. e.Numerics.Clark.mean)
+      <= k_mean *. sp);
+    check_true (name ^ ": var within certified step")
+      (Float.abs (f.Numerics.Clark.var -. e.Numerics.Clark.var)
+      <= k_var *. sp *. sp)
+  in
+  check_gap 2.599 false;
+  check_gap 2.6 true;
+  check_gap 2.601 true
+
 let clark_list_ops () =
   let ms = [ moments ~mu:1.0 ~sigma:1.0; moments ~mu:2.0 ~sigma:1.0;
              moments ~mu:50.0 ~sigma:1.0 ] in
   let m = Numerics.Clark.max_exact_list ms in
   close ~tol:1e-3 "list max dominated by 50" 50.0 m.Numerics.Clark.mean;
   Alcotest.check_raises "empty list"
-    (Invalid_argument "Clark.max_exact_list: empty") (fun () ->
-      ignore (Numerics.Clark.max_exact_list []))
+    (Invalid_argument
+       "Clark.max_exact_list: empty operand list (the max of zero random \
+        variables is undefined; callers must supply at least one arrival)")
+    (fun () -> ignore (Numerics.Clark.max_exact_list []));
+  Alcotest.check_raises "empty fast list"
+    (Invalid_argument
+       "Clark.max_fast_list: empty operand list (the max of zero random \
+        variables is undefined; callers must supply at least one arrival)")
+    (fun () -> ignore (Numerics.Clark.max_fast_list []))
 
 (* ---- Discrete_pdf ------------------------------------------------------- *)
 
@@ -438,6 +487,7 @@ let () =
           Alcotest.test_case "max of iid" `Quick clark_max_symmetric_equal;
           Alcotest.test_case "dominant max" `Quick clark_max_dominant;
           Alcotest.test_case "cutoff branches" `Quick clark_cutoff_branches;
+          Alcotest.test_case "cutoff boundary 2.6" `Quick clark_cutoff_boundary;
           Alcotest.test_case "vs monte carlo" `Quick clark_max_vs_monte_carlo;
           Alcotest.test_case "negative var rejected" `Quick
             clark_negative_var_rejected;

@@ -166,6 +166,56 @@ let prop_stat_slack_outputs_match_period =
               < 1e-6)
         (Netlist.Circuit.outputs c))
 
+(* Statcheck's realization envelope claims: for ANY per-arc variation draw
+   with |z| <= z_span, the node's arrival stays inside the envelope. Sample
+   that claim with a seeded deterministic propagation using exactly the
+   certifier's arc model (Fassta.arc_moments over the same electrical
+   state), truncating each z at the span. *)
+let prop_envelope_contains_truncated_samples =
+  qcheck ~count:15 "sampled arrivals stay in statcheck envelope" gen_circuit
+    (fun c ->
+      let sc = Absint.Statcheck.run ~lib c in
+      let cfg = Absint.Statcheck.config sc in
+      let z_span = cfg.Absint.Statcheck.z_span in
+      let input_arrival =
+        cfg.Absint.Statcheck.electrical.Sta.Electrical.input_arrival
+      in
+      let e = Sta.Electrical.compute c in
+      let model = Variation.Model.default in
+      let rng = Numerics.Rng.create ~seed:7 in
+      let order = Netlist.Circuit.topological c in
+      let arrival = Array.make (Netlist.Circuit.size c) input_arrival in
+      let ok = ref true in
+      for _trial = 1 to 20 do
+        List.iter
+          (fun id ->
+            if not (Netlist.Circuit.is_input c id) then begin
+              let fanins = Netlist.Circuit.fanins c id in
+              let best = ref Float.neg_infinity in
+              Array.iteri
+                (fun k fi ->
+                  let m = Ssta.Fassta.arc_moments model c e id k in
+                  let z =
+                    Float.max (-.z_span)
+                      (Float.min z_span (Numerics.Rng.gaussian rng))
+                  in
+                  let d =
+                    m.Numerics.Clark.mean +. (z *. Numerics.Clark.sigma m)
+                  in
+                  best := Float.max !best (arrival.(fi) +. d))
+                fanins;
+              arrival.(id) <- !best;
+              if
+                not
+                  (Numerics.Interval.contains ~tol:1e-6
+                     (Absint.Statcheck.envelope sc id)
+                     !best)
+              then ok := false
+            end)
+          order
+      done;
+      !ok)
+
 let prop_criticality_bounded =
   qcheck ~count:15 "criticality within [0,1]" gen_circuit (fun c ->
       let crit = Core.Criticality.compute c in
@@ -191,6 +241,7 @@ let () =
           prop_wnss_cone_nonempty_and_topological;
           prop_downstream_plus_arrival_bounds_delay;
           prop_stat_slack_outputs_match_period;
+          prop_envelope_contains_truncated_samples;
           prop_criticality_bounded;
         ] );
     ]

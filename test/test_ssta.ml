@@ -115,6 +115,12 @@ let fassta_cutoff_stats_counted () =
   let f = Ssta.Fassta.cutoff_fraction stats in
   check_true "fraction in [0,1]" (f >= 0.0 && f <= 1.0)
 
+(* Regression: a stats record with no maxes recorded used to yield 0/0 =
+   nan, which poisoned downstream aggregation; it must read as 0. *)
+let fassta_cutoff_fraction_empty () =
+  let stats = Ssta.Fassta.make_stats () in
+  close ~tol:0.0 "fresh stats fraction" 0.0 (Ssta.Fassta.cutoff_fraction stats)
+
 let fassta_propagate_boundary () =
   let c = tiny_circuit () in
   let e = Sta.Electrical.compute c in
@@ -248,6 +254,8 @@ let () =
         [
           Alcotest.test_case "chain is exact" `Quick fassta_chain_is_exact;
           Alcotest.test_case "cutoff stats" `Quick fassta_cutoff_stats_counted;
+          Alcotest.test_case "cutoff fraction empty" `Quick
+            fassta_cutoff_fraction_empty;
           Alcotest.test_case "boundary propagation" `Quick fassta_propagate_boundary;
           Alcotest.test_case "propagate_into matches run" `Quick
             fassta_propagate_into_matches_run;
