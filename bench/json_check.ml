@@ -1,0 +1,142 @@
+(* Minimal JSON validator for the bench emitters (the toolchain carries no
+   JSON package, and the emitters are hand-rolled — this guards them from
+   rotting into almost-JSON). Strict on structure, lenient on nothing:
+   RFC 8259 grammar minus \u surrogate-pair pairing checks. *)
+
+exception Bad of string * int
+
+let check (s : string) =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad (msg, !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n
+      && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let literal word =
+    String.iter expect word
+  in
+  let string_body () =
+    expect '"';
+    let fin = ref false in
+    while not !fin do
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance (); fin := true
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') -> advance ()
+          | Some 'u' ->
+              advance ();
+              for _ = 1 to 4 do
+                match peek () with
+                | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+                | _ -> fail "bad \\u escape"
+              done
+          | _ -> fail "bad escape")
+      | Some c when Char.code c < 0x20 -> fail "raw control char in string"
+      | Some _ -> advance ()
+    done
+  in
+  let digits () =
+    match peek () with
+    | Some ('0' .. '9') ->
+        while match peek () with Some ('0' .. '9') -> true | _ -> false do
+          advance ()
+        done
+    | _ -> fail "expected digit"
+  in
+  let number () =
+    if peek () = Some '-' then advance ();
+    (match peek () with
+    | Some '0' -> advance ()
+    | Some ('1' .. '9') -> digits ()
+    | _ -> fail "bad number");
+    if peek () = Some '.' then (advance (); digits ());
+    match peek () with
+    | Some ('e' | 'E') ->
+        advance ();
+        (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+        digits ()
+    | _ -> ()
+  in
+  let rec value () =
+    skip_ws ();
+    (match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then advance ()
+        else
+          let members = ref true in
+          while !members do
+            skip_ws ();
+            string_body ();
+            skip_ws ();
+            expect ':';
+            value ();
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance ()
+            | Some '}' -> advance (); members := false
+            | _ -> fail "expected , or } in object"
+          done
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then advance ()
+        else
+          let items = ref true in
+          while !items do
+            value ();
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance ()
+            | Some ']' -> advance (); items := false
+            | _ -> fail "expected , or ] in array"
+          done
+    | Some '"' -> string_body ()
+    | Some 't' -> literal "true"
+    | Some 'f' -> literal "false"
+    | Some 'n' -> literal "null"
+    | Some ('-' | '0' .. '9') -> number ()
+    | _ -> fail "expected a JSON value");
+    skip_ws ()
+  in
+  value ();
+  if !pos <> n then fail "trailing garbage after document"
+
+let () =
+  let bad = ref false in
+  Array.iteri
+    (fun i path ->
+      if i > 0 then
+        match
+          let ic = open_in_bin path in
+          let len = in_channel_length ic in
+          let body = really_input_string ic len in
+          close_in ic;
+          check body;
+          len
+        with
+        | len -> Printf.printf "%s: valid JSON (%d bytes)\n" path len
+        | exception Bad (msg, at) ->
+            bad := true;
+            Printf.eprintf "%s: INVALID JSON at byte %d: %s\n" path at msg
+        | exception Sys_error e ->
+            bad := true;
+            Printf.eprintf "%s: %s\n" path e)
+    Sys.argv;
+  if !bad then exit 1

@@ -4,7 +4,11 @@
      dune exec bench/main.exe               -- full reproduction (Table 1 over
                                                the whole suite; takes minutes)
      dune exec bench/main.exe -- --quick    -- small-circuit subset
-     dune exec bench/main.exe -- table1|fig1|fig3|fig4|approx|ablation|micro
+     dune exec bench/main.exe -- table1|fig1|fig3|fig4|approx|ablation|micro|incremental
+
+   --json additionally emits machine-readable BENCH_micro.json /
+   BENCH_incremental.json (hand-rolled encoder; no JSON dependency);
+   --smoke is the tiny-quota --quick variant behind the @bench-smoke alias.
 
    Absolute numbers are not expected to match the paper (our substrate is a
    generated library and profile-matched circuits, not the authors' 90nm
@@ -12,7 +16,11 @@
 
 let lib = Lazy.force Cells.Library.default
 
-let quick = Array.exists (fun a -> a = "--quick") Sys.argv
+(* --smoke: tiny-quota variant of --quick for the @bench-smoke alias — just
+   enough work to prove the harness and the JSON emitters still function. *)
+let smoke = Array.exists (fun a -> a = "--smoke") Sys.argv
+let quick = smoke || Array.exists (fun a -> a = "--quick") Sys.argv
+let json = Array.exists (fun a -> a = "--json") Sys.argv
 
 let wants section =
   let explicit =
@@ -22,6 +30,72 @@ let wants section =
   match explicit with [] -> true | names -> List.mem section names
 
 let heading title = Fmt.pr "@.=== %s ===@." title
+
+(* ---- hand-rolled JSON (the toolchain ships no JSON package) -------------- *)
+
+type jsonv =
+  | Jnum of float
+  | Jint of int
+  | Jstr of string
+  | Jbool of bool
+  | Jlist of jsonv list
+  | Jobj of (string * jsonv) list
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let rec emit_json b ~indent v =
+  let pad n = String.make n ' ' in
+  match v with
+  | Jint i -> Buffer.add_string b (string_of_int i)
+  | Jnum f ->
+      (* JSON has no NaN/inf literals; encode those as null *)
+      if Float.is_finite f then Buffer.add_string b (Printf.sprintf "%.17g" f)
+      else Buffer.add_string b "null"
+  | Jstr s -> Buffer.add_string b ("\"" ^ json_escape s ^ "\"")
+  | Jbool v -> Buffer.add_string b (if v then "true" else "false")
+  | Jlist [] -> Buffer.add_string b "[]"
+  | Jlist items ->
+      Buffer.add_string b "[\n";
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_string b ",\n";
+          Buffer.add_string b (pad (indent + 2));
+          emit_json b ~indent:(indent + 2) item)
+        items;
+      Buffer.add_string b ("\n" ^ pad indent ^ "]")
+  | Jobj [] -> Buffer.add_string b "{}"
+  | Jobj fields ->
+      Buffer.add_string b "{\n";
+      List.iteri
+        (fun i (k, item) ->
+          if i > 0 then Buffer.add_string b ",\n";
+          Buffer.add_string b (pad (indent + 2) ^ "\"" ^ json_escape k ^ "\": ");
+          emit_json b ~indent:(indent + 2) item)
+        fields;
+      Buffer.add_string b ("\n" ^ pad indent ^ "}")
+
+let write_json path v =
+  let b = Buffer.create 4096 in
+  emit_json b ~indent:0 v;
+  Buffer.add_char b '\n';
+  let oc = open_out path in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Fmt.pr "  wrote %s@." path
 
 (* ---- Table 1 ------------------------------------------------------------- *)
 
@@ -91,6 +165,8 @@ let micro_tests () =
   let b = Numerics.Clark.moments ~mean:104.0 ~var:144.0 in
   let pa = Numerics.Discrete_pdf.of_normal ~samples:12 ~mean:100.0 ~sigma:9.0 () in
   let pb = Numerics.Discrete_pdf.of_normal ~samples:12 ~mean:104.0 ~sigma:12.0 () in
+  let pa48 = Numerics.Discrete_pdf.of_normal ~samples:48 ~mean:100.0 ~sigma:9.0 () in
+  let pb48 = Numerics.Discrete_pdf.of_normal ~samples:48 ~mean:104.0 ~sigma:12.0 () in
   [
     (* Table 1's engines: the nested-analysis speed gap FASSTA exists for *)
     Test.make ~name:"fassta_c432_pass"
@@ -114,6 +190,11 @@ let micro_tests () =
       (Staged.stage (fun () -> ignore (Numerics.Clark.max_exact a b)));
     Test.make ~name:"discrete_pdf_max"
       (Staged.stage (fun () -> ignore (Numerics.Discrete_pdf.max2 pa pb)));
+    (* 4x the support points: the merge-scan max must scale ~linearly; the
+       ns ratio of this pair is the max2 regression line in BENCH_micro.json
+       (the old cross-product kernel was quadratic and would show ~16x) *)
+    Test.make ~name:"discrete_pdf_max_48pt"
+      (Staged.stage (fun () -> ignore (Numerics.Discrete_pdf.max2 pa48 pb48)));
     Test.make ~name:"discrete_pdf_sum_resample"
       (Staged.stage (fun () ->
            ignore
@@ -137,8 +218,9 @@ let run_micro () =
   heading "Bechamel micro-benchmarks (engines behind each artifact)";
   let open Bechamel in
   let open Bechamel.Toolkit in
+  let quota_s = if smoke then 0.05 else 0.6 in
   let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.6) () in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second quota_s) () in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
   in
@@ -148,6 +230,7 @@ let run_micro () =
   let raw = Benchmark.all cfg instances grouped in
   let results = List.map (fun i -> Analyze.all ols i raw) instances in
   let merged = Analyze.merge ols instances results in
+  let estimates = ref [] in
   Hashtbl.iter
     (fun _metric tbl ->
       let rows =
@@ -157,10 +240,155 @@ let run_micro () =
       List.iter
         (fun (name, result) ->
           match Analyze.OLS.estimates result with
-          | Some [ est ] -> Fmt.pr "  %-32s %14.1f ns/run@." name est
+          | Some [ est ] ->
+              estimates := (name, est) :: !estimates;
+              Fmt.pr "  %-32s %14.1f ns/run@." name est
           | _ -> Fmt.pr "  %-32s (no estimate)@." name)
         rows)
-    merged
+    merged;
+  (* the max2 regression line: the merge-scan kernel must stay ~linear in
+     support points, so 4x the points should cost ~4x, not the ~16x a
+     quadratic cross-product shows. Mid-range threshold 8x. *)
+  let find name = List.assoc_opt ("statsize/" ^ name) !estimates in
+  let max2_ratio =
+    match (find "discrete_pdf_max", find "discrete_pdf_max_48pt") with
+    | Some base, Some big when base > 0.0 -> Some (big /. base)
+    | _ -> None
+  in
+  (match max2_ratio with
+  | Some r ->
+      Fmt.pr "  max2 48pt/12pt cost ratio: %.1fx (linear kernel: ~4, \
+              quadratic: ~16)@." r
+  | None -> ());
+  if json then
+    write_json "BENCH_micro.json"
+      (Jobj
+         [
+           ("section", Jstr "micro");
+           ("quota_s", Jnum quota_s);
+           ("smoke", Jbool smoke);
+           ( "results",
+             Jlist
+               (List.rev_map
+                  (fun (name, est) ->
+                    Jobj [ ("name", Jstr name); ("ns_per_run", Jnum est) ])
+                  !estimates) );
+           ( "regressions",
+             Jobj
+               [
+                 ( "max2_48pt_over_12pt_ratio",
+                   match max2_ratio with Some r -> Jnum r | None -> Jnum Float.nan
+                 );
+                 ( "max2_scaling_linear",
+                   Jbool
+                     (match max2_ratio with Some r -> r < 8.0 | None -> false) );
+               ] );
+         ])
+
+(* ---- incremental engines: scratch vs dirty-cone sizer ---------------------- *)
+
+(* Same circuit, same config except [incremental]; the two runs must agree
+   bit-for-bit on the final sizing (the incremental stops are exact), so the
+   wall-clock gap is pure engine overhead. *)
+let run_incremental () =
+  heading "incremental — scratch vs dirty-cone sizer wall-clock";
+  let cases =
+    if smoke then [ ("alu2", `Iscas "alu2") ]
+    else
+      List.map (fun n -> (n, `Iscas n)) quick_names @ [ ("alu8", `Alu 8) ]
+  in
+  let build = function
+    | `Iscas name -> Benchgen.Iscas_like.build_exn ~lib name
+    | `Alu bits -> Benchgen.Alu.generate ~lib ~bits ()
+  in
+  let max_iterations =
+    if smoke then 2 else Core.Sizer.default_config.Core.Sizer.max_iterations
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let rows =
+    List.map
+      (fun (name, spec) ->
+        let run ~incremental =
+          let c = build spec in
+          let _ = Core.Initial_sizing.apply ~lib c in
+          let config =
+            { Core.Sizer.default_config with incremental; max_iterations }
+          in
+          let r, t = time (fun () -> Core.Sizer.optimize ~config ~lib c) in
+          let cells =
+            List.map
+              (fun g -> Cells.Cell.name (Netlist.Circuit.cell_exn c g))
+              (Netlist.Circuit.gates c)
+          in
+          (r, t, cells)
+        in
+        let _, t_scratch, cells_scratch = run ~incremental:false in
+        let r_incr, t_incr, cells_incr = run ~incremental:true in
+        let identical = cells_scratch = cells_incr in
+        let speedup = if t_incr > 0.0 then t_scratch /. t_incr else Float.nan in
+        Fmt.pr
+          "  %-6s scratch %7.2fs  incremental %7.2fs  speedup %5.2fx  \
+           final sizing identical=%b (%d resizes, %d iterations)@."
+          name t_scratch t_incr speedup identical
+          r_incr.Core.Sizer.total_resizes
+          (List.length r_incr.Core.Sizer.iterations);
+        (name, t_scratch, t_incr, speedup, identical, r_incr))
+      cases
+  in
+  (* the headline: one aggregate over the quick Table 1 subset (alu8 rides
+     along for the satellite's ALU datapoint but is not a Table 1 circuit) *)
+  let in_quick (name, _, _, _, _, _) = List.mem name quick_names in
+  let total_s =
+    List.fold_left (fun a (_, t, _, _, _, _) -> a +. t) 0.0
+      (List.filter in_quick rows)
+  and total_i =
+    List.fold_left (fun a (_, _, t, _, _, _) -> a +. t) 0.0
+      (List.filter in_quick rows)
+  in
+  let aggregate = if total_i > 0.0 then total_s /. total_i else Float.nan in
+  if not smoke then
+    Fmt.pr "  quick-subset aggregate: scratch %.2fs incremental %.2fs speedup \
+            %.2fx@."
+      total_s total_i aggregate;
+  if json then
+    write_json "BENCH_incremental.json"
+      (Jobj
+         [
+           ("section", Jstr "incremental");
+           ("smoke", Jbool smoke);
+           ("max_iterations", Jint max_iterations);
+           ( "quick_subset_aggregate",
+             Jobj
+               [
+                 ("scratch_s", Jnum total_s);
+                 ("incremental_s", Jnum total_i);
+                 ("speedup", Jnum aggregate);
+               ] );
+           ( "circuits",
+             Jlist
+               (List.map
+                  (fun (name, t_s, t_i, speedup, identical, r) ->
+                    Jobj
+                      [
+                        ("name", Jstr name);
+                        ("scratch_s", Jnum t_s);
+                        ("incremental_s", Jnum t_i);
+                        ("speedup", Jnum speedup);
+                        ("final_sizing_identical", Jbool identical);
+                        ("total_resizes", Jint r.Core.Sizer.total_resizes);
+                        ( "iterations",
+                          Jint (List.length r.Core.Sizer.iterations) );
+                        ( "final_sigma_over_mean",
+                          Jnum
+                            (Core.Sizer.sigma_over_mean
+                               r.Core.Sizer.final_moments) );
+                      ])
+                  rows) );
+         ])
 
 let () =
   Fmt.pr "statsize paper-reproduction bench%s@."
@@ -172,4 +400,5 @@ let () =
   if wants "approx" then run_approx ();
   if wants "ablation" then run_ablation ();
   if wants "micro" then run_micro ();
+  if wants "incremental" then run_incremental ();
   Fmt.pr "@.done.@."

@@ -49,6 +49,8 @@ type config = {
   path_source : path_source;
   evaluation : Window.mode; (* trial scoring: windowed (paper) or global *)
   electrical : Sta.Electrical.config;
+  incremental : bool; (* dirty-cone engines instead of per-iteration rebuilds *)
+  paranoid : bool; (* cross-check every incremental update against scratch *)
 }
 
 let default_config =
@@ -66,6 +68,8 @@ let default_config =
     path_source = Critical_cone;
     evaluation = Window.Global;
     electrical = Sta.Electrical.default_config;
+    incremental = true;
+    paranoid = false;
   }
 
 (* The "Original" baseline: pure mean delay, with a small per-move gain
@@ -113,9 +117,11 @@ let fullssta_config config =
     electrical = config.electrical;
   }
 
-(* One outer iteration: trace the WNSS path, evaluate every gate on it,
-   apply resizes per the commit mode. Returns the applied resizes
-   (gate, previous, new) for potential rollback, plus window counts:
+(* One outer iteration: trace the WNSS path, evaluate every gate on it
+   through [window] (fresh per iteration on the scratch path, persistent
+   and refreshed by the caller on the incremental path), apply resizes per
+   the commit mode. Returns the applied resizes (gate, previous, new) for
+   potential rollback, plus window counts:
    (schedule, path_length, windows_evaluated, windows_skipped).
 
    [skip], when present, is Absint.Dominance's certified skip predicate: the
@@ -124,7 +130,7 @@ let fullssta_config config =
    isolated from every live gate), so its window evaluation is pure cost.
    Every root is still traced — pruning filters gates, not outputs, so the
    path itself is identical to the unpruned run's. *)
-let run_iteration config ~lib ?skip circuit full stats_acc =
+let run_iteration config ~lib ?skip circuit full window stats_acc =
   (* The statistical traces do not depend on α (they rank by variance
      structure); at α = 0 the cone still covers the deterministic critical
      forest plus the near-critical siblings whose pin loads burden critical
@@ -143,10 +149,11 @@ let run_iteration config ~lib ?skip circuit full stats_acc =
     | None -> gates_on_path
     | Some p -> List.filter (fun id -> not (p id)) gates_on_path
   in
-  let window =
-    Window.create ~mode:config.evaluation ~area_weight:config.area_weight
-      ~circuit ~model:config.model ~objective:config.objective ~full ()
-  in
+  (* The window may be persistent across iterations, so its FASSTA counters
+     accumulate: account the delta this iteration adds, not the totals. *)
+  let w_stats = Window.fassta_stats window in
+  let cutoff0 = w_stats.Ssta.Fassta.cutoff_hits
+  and blended0 = w_stats.Ssta.Fassta.blended in
   let applied = ref [] in
   let pending = ref [] in
   List.iter
@@ -172,7 +179,10 @@ let run_iteration config ~lib ?skip circuit full stats_acc =
               List.iter
                 (fun (g, _, cell) -> Netlist.Circuit.set_cell circuit g cell)
                 moves;
-              Window.commit window sub;
+              if config.incremental then
+                Window.commit_incremental window
+                  ~resized:(List.map (fun (g, _, _) -> g) moves)
+              else Window.commit window sub;
               applied := List.rev_append moves !applied
           | Batch -> pending := List.rev_append moves !pending
         end
@@ -181,10 +191,12 @@ let run_iteration config ~lib ?skip circuit full stats_acc =
   List.iter
     (fun (gate, _, best) -> Netlist.Circuit.set_cell circuit gate best)
     !pending;
-  let w_stats = Window.fassta_stats window in
+  if config.incremental && !pending <> [] then
+    Window.commit_incremental window
+      ~resized:(List.map (fun (g, _, _) -> g) !pending);
   stats_acc :=
-    ( fst !stats_acc + w_stats.Ssta.Fassta.cutoff_hits,
-      snd !stats_acc + w_stats.Ssta.Fassta.blended );
+    ( fst !stats_acc + w_stats.Ssta.Fassta.cutoff_hits - cutoff0,
+      snd !stats_acc + w_stats.Ssta.Fassta.blended - blended0 );
   ( List.rev_append !pending !applied,
     List.length path,
     List.length visited,
@@ -236,7 +248,10 @@ let optimize ?(ignore_lint = false) ?(prune = false) ?(config = default_config)
     List.iter (fun (id, cell) -> Netlist.Circuit.set_cell circuit id cell) cells
   in
   (* The acceptance metric: exact-Clark moments on fresh electrical state —
-     identical in kind to Window.Global's trial scoring. *)
+     identical in kind to Window.Global's trial scoring. The incremental
+     path reads the same value off the persistent window's committed base
+     (maintained bit-equal to a scratch pass by the exact-stop resync)
+     instead of recomputing it from scratch. *)
   let judge_cost () =
     let electrical = Sta.Electrical.compute ~config:config.electrical circuit in
     let scratch =
@@ -249,40 +264,95 @@ let optimize ?(ignore_lint = false) ?(prune = false) ?(config = default_config)
       (fun o -> scratch.(o))
       (Netlist.Circuit.outputs circuit)
   in
-  let best_cost = ref (judge_cost ()) in
+  let make_window full =
+    Window.create ~mode:config.evaluation ~incremental:config.incremental
+      ~area_weight:config.area_weight ~circuit ~model:config.model
+      ~objective:config.objective ~full ()
+  in
+  (* The persistent window (incremental mode): one allocation for the whole
+     run, its shared electrical state and cached base arrivals kept in sync
+     by the incremental commits; refreshed at each iteration start. The
+     scratch path allocates a fresh window per iteration instead. *)
+  let persistent = if config.incremental then Some (make_window full0) else None in
+  let best_cost =
+    ref
+      (match persistent with
+      | Some w -> Window.base_cost w
+      | None -> judge_cost ())
+  in
   let best_cells = ref (snapshot ()) in
-  (* Certified dominance pruning (opt-in): recomputed every iteration
-     because resizes move the enclosures. The statcheck pass is Clark-mode
+  (* Certified dominance pruning (opt-in): the statcheck pass is Clark-mode
      over the current sizing — O(nodes) interval work, negligible next to
-     the FULLSSTA it precedes. *)
+     the FULLSSTA it precedes. The scratch path recomputes it every
+     iteration because resizes move the enclosures; the incremental path
+     reuses the previous skip set until a committed resize's electrical
+     dirt actually touches a pruned cone (dirt outside every pruned cone
+     cannot un-isolate one — reachability and isolation depth are static
+     topology, and the dominated-output margins were certified with slack). *)
+  let dom_cache = ref None in
   let dominance_skip () =
     if not prune then None
-    else
-      let sc_config =
-        {
-          Absint.Statcheck.default_config with
-          Absint.Statcheck.model = config.model;
-          electrical = config.electrical;
-        }
+    else begin
+      let stale =
+        match (!dom_cache, persistent) with
+        | None, _ | _, None -> true
+        | Some skip_arr, Some w ->
+            List.exists (fun id -> skip_arr.(id)) (Window.take_dirt w)
       in
-      let sc = Absint.Statcheck.run ~config:sc_config ~lib circuit in
-      let dom = Absint.Dominance.compute sc in
-      Some (Absint.Dominance.skip dom)
+      if stale then begin
+        let sc_config =
+          {
+            Absint.Statcheck.default_config with
+            Absint.Statcheck.model = config.model;
+            electrical = config.electrical;
+          }
+        in
+        let sc = Absint.Statcheck.run ~config:sc_config ~lib circuit in
+        let dom = Absint.Dominance.compute sc in
+        dom_cache :=
+          Some
+            (Array.init (Netlist.Circuit.size circuit) (fun id ->
+                 Absint.Dominance.skip dom id))
+      end;
+      match !dom_cache with
+      | Some skip_arr -> Some (fun id -> skip_arr.(id))
+      | None -> None
+    end
   in
   let windows = ref (0, 0) in
   let rec loop index full misses history resizes =
     if index >= config.max_iterations then (Iteration_limit, history, resizes)
     else begin
+      let window =
+        match persistent with
+        | Some w ->
+            if index > 0 then Window.refresh w;
+            w
+        | None -> make_window full
+      in
       let schedule, path_length, evaluated, skipped =
-        run_iteration config ~lib ?skip:(dominance_skip ()) circuit full
+        run_iteration config ~lib ?skip:(dominance_skip ()) circuit full window
           stats_acc
       in
       windows := (fst !windows + evaluated, snd !windows + skipped);
       match schedule with
       | [] -> (No_candidate, history, resizes)
       | _ ->
-          let full' = Ssta.Fullssta.run ~config:full_cfg circuit in
-          let cost' = judge_cost () in
+          let full' =
+            if config.incremental then begin
+              ignore
+                (Ssta.Fullssta.update ~paranoid:config.paranoid
+                   ~refresh_electrical:false full
+                   ~resized:(List.map (fun (g, _, _) -> g) schedule));
+              full
+            end
+            else Ssta.Fullssta.run ~config:full_cfg circuit
+          in
+          let cost' =
+            match persistent with
+            | Some w -> Window.base_cost w
+            | None -> judge_cost ()
+          in
           let improved =
             cost' < !best_cost -. (config.min_improvement *. Float.abs !best_cost)
           in

@@ -30,11 +30,24 @@ type config = {
   path_source : path_source;
   evaluation : Window.mode;  (** trial scoring: windowed (paper) or global *)
   electrical : Sta.Electrical.config;
+  incremental : bool;
+      (** default true: one persistent electrical state, FULLSSTA annotation
+          and window per run, kept in sync with dirty-cone updates
+          ({!Sta.Electrical.update}, {!Ssta.Fullssta.update},
+          {!Window.commit_incremental}) instead of per-iteration from-scratch
+          rebuilds. Every incremental stop is exact (bit-equal values), so
+          the sizing trajectory and final cells are identical to the scratch
+          path — only faster. *)
+  paranoid : bool;
+      (** default false: cross-check every incremental FULLSSTA update
+          against a from-scratch run, raising {!Ssta.Fullssta.Divergence}
+          (STAT005) on any mismatch. Costs more than the scratch path;
+          meant for debugging and CI property runs. *)
 }
 
 val default_config : config
 (** α = 3, depth-2 windows, 12-point pdfs, sequential commits, per-output
-    path forest, 120 iterations max. *)
+    path forest, 120 iterations max, incremental engines on. *)
 
 val mean_delay_config : config
 (** The "Original" baseline: identical machinery at α = 0. *)

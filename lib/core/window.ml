@@ -25,7 +25,9 @@ type t = {
   model : Variation.Model.t;
   objective : Objective.t;
   mode : mode;
+  incremental : bool; (* dirty-cone trials and commits instead of full sweeps *)
   electrical : Sta.Electrical.t; (* shared, mutated and restored per trial *)
+  full : Ssta.Fullssta.t; (* the annotation the window was built over *)
   boundary : Netlist.Circuit.id -> Numerics.Clark.moments;
   down_mean : float array; (* remaining mean delay to any primary output *)
   down_var : float array; (* delay variance along that downstream path *)
@@ -33,18 +35,108 @@ type t = {
   mutable base_cost : float; (* RV_O cost of [base] *)
   override : (int, Numerics.Clark.moments) Hashtbl.t; (* trial deltas *)
   area_weight : float; (* ps of cost per unit of added area *)
-  wavefront : wavefront; (* scratch queue for incremental trials *)
+  wavefront : Netlist.Wavefront.t; (* scratch queue for incremental trials *)
+  in_window : bool array; (* scratch membership bitmap for clipped trials *)
+  mutable dirt : Netlist.Circuit.id list;
+      (* electrical-dirty ids accumulated by incremental commits, for the
+         caller's dominance-cache invalidation; see [take_dirt] *)
   stats : Ssta.Fassta.stats;
+  (* Incremental-engine fast path (unused when [incremental] is false; the
+     scratch engine keeps the original Hashtbl machinery as the oracle).
+     All of it is pure caching: every value read out of these structures is
+     bit-identical to what the oracle path recomputes, so trial costs and
+     hence sizing decisions are unchanged.
+     - [f_arc] holds each node's per-fanin arc delay moments for the
+       COMMITTED electrical state; [f_row] remembers the physical arc-delay
+       row each cache line was derived from, so validity is one pointer
+       compare ([Electrical.update] replaces a row exactly when its values
+       changed, and trials restore the original rows afterwards).
+     - [ov_m]/[ov_gen] are the trial override table as flat arrays: an
+       entry is live when its generation stamp matches [gen], so starting a
+       new trial is one integer bump instead of a Hashtbl.reset.
+     - [outputs_arr]/[out_idx]/[out_prefix] support RV_O prefix folding:
+       [out_prefix.(i)] is the statistical max of the first i+1 outputs'
+       base arrivals (same left fold as [Clark.max_exact_list]), so a trial
+       that only perturbs outputs from index j onward resumes the fold at
+       the cached prefix instead of re-maxing every output. *)
+  f_arc : Numerics.Clark.moments array array;
+  f_row : float array array;
+  ov_m : Numerics.Clark.moments array;
+  ov_gen : int array;
+  mutable gen : int;
+  outputs_arr : Netlist.Circuit.id array;
+  out_idx : int array; (* node id -> index in [outputs_arr], or -1 *)
+  out_prefix : Numerics.Clark.moments array;
+  mutable min_out : int; (* lowest output index overridden by this trial *)
+  base_sigma : float array;
+      (* [Clark.sigma base.(id)], maintained at every base write so the
+         wavefront decay test costs one sqrt (the fresh value) per node
+         instead of two — the cached sqrt of an identical var is the
+         identical float *)
+  (* Vectorized trial scoring: [best_size] drains ALL candidate cells of a
+     window through ONE topologically-ordered wavefront. Because nodes pop
+     in ascending id = topological order, evaluating cell [c] exactly at
+     the nodes where [c] has a pending change replays the same computation
+     sequence — same values, same decay decisions — as [c]'s solo drain,
+     so every per-cell cost is bit-identical to the one-trial-at-a-time
+     path while the heap traffic and fanout walks are paid once per node
+     instead of once per node per cell.
+     - [pend]/[pend_gen]: per-node bitmask of candidate cells awaiting
+       recomputation there (generation-stamped, no clearing).
+     - [vc_ov]/[vc_ov_gen]: per-cell override arrivals (the vectorized
+       [ov_m]/[ov_gen]).
+     - [vc_arc]/[vc_arc_gen]: per-cell arc moments captured from the
+       trial's perturbed electrical rows while they were live — the same
+       [delay_moments] calls the solo drain makes inline.
+     - [vc_min_out]: per-cell lowest perturbed output index for the RV_O
+       prefix-fold resume. *)
+  pend : int array;
+  pend_gen : int array;
+  mutable vc_ov : Numerics.Clark.moments array array;
+  mutable vc_ov_gen : int array array;
+  mutable vc_arc : Numerics.Clark.moments array array array;
+  mutable vc_arc_gen : int array array;
+  mutable vc_min_out : int array;
 }
 
-(* Mutable min-heap of node ids with a dedup bitmap: the change wavefront
-   must be processed in ascending id (= topological) order, and this runs
-   thousands of times per sizing iteration. *)
-and wavefront = {
-  mutable heap : int array;
-  mutable heap_len : int;
-  queued : bool array; (* sized to the circuit *)
-}
+(* Candidate bitmasks live in one int; windows with more sizes than this
+   (none in practice) fall back to the one-trial-at-a-time path. *)
+let max_vec_cells = Sys.int_size - 2
+
+(* Scalar accumulator for arrival folds: the drain below runs
+   [Clark.max_exact] millions of times per sizer call, and folding through
+   a mutable float pair instead of intermediate records keeps the hot loop
+   allocation-free (a moments record is built only for the values that are
+   actually stored). *)
+type acc2 = { mutable am : float; mutable av : float }
+
+(* [acc <- max(acc, N(bm, bv))]: a clone of [Clark.max_exact ~rho:0.0] —
+   the same operations in the same order on the same operands, so the
+   accumulated mean/var are bit-identical to the record-folding oracle. *)
+let scalar_max acc bm bv =
+  let am = acc.am and av = acc.av in
+  let sp = Float.sqrt (Float.max (av +. bv) 0.0) in
+  if sp <= 0.0 then begin
+    if am >= bm then ()
+    else begin
+      acc.am <- bm;
+      acc.av <- bv
+    end
+  end
+  else begin
+    let alpha = (am -. bm) /. sp in
+    let phi = Numerics.Normal.pdf alpha in
+    let cdf_pos = Numerics.Normal.cdf alpha in
+    let cdf_neg = 1.0 -. cdf_pos in
+    let m1 = (am *. cdf_pos) +. (bm *. cdf_neg) +. (sp *. phi) in
+    let m2 =
+      (((am *. am) +. av) *. cdf_pos)
+      +. (((bm *. bm) +. bv) *. cdf_neg)
+      +. ((am +. bm) *. sp *. phi)
+    in
+    acc.am <- m1;
+    acc.av <- Float.max (m2 -. (m1 *. m1)) 0.0
+  end
 
 (* Wavefront decay tolerance: a node whose recomputed moments move by less
    than this (in ps, on mean and sigma) does not wake its fanouts. *)
@@ -63,10 +155,9 @@ let epsilon_wave = 1e-3
    improvements are discounted by the variance the rest of the path will add
    anyway. Without this slack correction the max across window outputs hides
    collateral damage entirely. *)
-let downstream_stats ~model circuit electrical =
-  let n = Netlist.Circuit.size circuit in
-  let down_mean = Array.make n 0.0 in
-  let down_var = Array.make n 0.0 in
+let downstream_stats_into ~model circuit electrical down_mean down_var =
+  Array.fill down_mean 0 (Array.length down_mean) 0.0;
+  Array.fill down_var 0 (Array.length down_var) 0.0;
   List.iter
     (fun id ->
       let fanins = Netlist.Circuit.fanins circuit id in
@@ -79,93 +170,143 @@ let downstream_stats ~model circuit electrical =
             down_var.(fi) <- arc.Numerics.Clark.var +. down_var.(id)
           end)
         fanins)
-    (List.rev (Netlist.Circuit.topological circuit));
-  (down_mean, down_var)
-
-let wavefront_create n =
-  { heap = Array.make 64 0; heap_len = 0; queued = Array.make n false }
-
-let wavefront_push w id =
-  if not w.queued.(id) then begin
-    w.queued.(id) <- true;
-    if w.heap_len = Array.length w.heap then begin
-      let grown = Array.make (2 * w.heap_len) 0 in
-      Array.blit w.heap 0 grown 0 w.heap_len;
-      w.heap <- grown
-    end;
-    w.heap.(w.heap_len) <- id;
-    w.heap_len <- w.heap_len + 1;
-    let i = ref (w.heap_len - 1) in
-    while !i > 0 && w.heap.((!i - 1) / 2) > w.heap.(!i) do
-      let p = (!i - 1) / 2 in
-      let tmp = w.heap.(p) in
-      w.heap.(p) <- w.heap.(!i);
-      w.heap.(!i) <- tmp;
-      i := p
-    done
-  end
-
-let wavefront_pop w =
-  if w.heap_len = 0 then -1
-  else begin
-    let top = w.heap.(0) in
-    w.heap_len <- w.heap_len - 1;
-    w.heap.(0) <- w.heap.(w.heap_len);
-    let i = ref 0 in
-    let continue = ref true in
-    while !continue do
-      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-      let smallest = ref !i in
-      if l < w.heap_len && w.heap.(l) < w.heap.(!smallest) then smallest := l;
-      if r < w.heap_len && w.heap.(r) < w.heap.(!smallest) then smallest := r;
-      if !smallest <> !i then begin
-        let tmp = w.heap.(!i) in
-        w.heap.(!i) <- w.heap.(!smallest);
-        w.heap.(!smallest) <- tmp;
-        i := !smallest
-      end
-      else continue := false
-    done;
-    w.queued.(top) <- false;
-    top
-  end
+    (List.rev (Netlist.Circuit.topological circuit))
 
 let rv_cost t moments_of =
   Objective.cost_of_rv ~exact:true t.objective moments_of
     (Netlist.Circuit.outputs t.circuit)
 
+(* Rebuild the RV_O prefix folds from the current base arrivals: the same
+   left fold [Clark.max_exact_list] runs over the outputs list, checkpointed
+   at every index. [from] skips entries before the first output whose base
+   arrival changed — they fold exclusively over unchanged values. *)
+let rebuild_out_prefix ?(from = 0) t =
+  let outs = t.outputs_arr in
+  let m = Array.length outs in
+  if m > 0 && from < m then begin
+    let start =
+      if from = 0 then begin
+        t.out_prefix.(0) <- t.base.(outs.(0));
+        1
+      end
+      else from
+    in
+    for i = start to m - 1 do
+      t.out_prefix.(i) <-
+        Numerics.Clark.max_exact t.out_prefix.(i - 1) t.base.(outs.(i))
+    done
+  end
+
 (* Re-derive the committed-state arrival moments and their RV_O cost. *)
 let refresh_base t =
   Ssta.Fassta.propagate_into ~exact:true ~model:t.model ~circuit:t.circuit
     ~electrical:t.electrical t.base;
-  t.base_cost <- rv_cost t (fun o -> t.base.(o))
+  t.base_cost <- rv_cost t (fun o -> t.base.(o));
+  if t.incremental then begin
+    rebuild_out_prefix t;
+    for id = 0 to Array.length t.base - 1 do
+      t.base_sigma.(id) <- Numerics.Clark.sigma t.base.(id)
+    done
+  end
 
-let create ?(mode = Global) ?(area_weight = 0.0) ~circuit ~model ~objective
-    ~full () =
+(* Re-derive one node's cached arc delay moments from its current
+   electrical row — the identical [Variation.Model.delay_moments] call the
+   oracle recompute makes inline, so a cached read is bit-equal to an
+   inline recompute for as long as the row survives. *)
+let refresh_arc_cache t id =
+  let row = Sta.Electrical.arc_delays t.electrical id in
+  if row != t.f_row.(id) then begin
+    let fanins = Netlist.Circuit.fanins t.circuit id in
+    let nf = Array.length fanins in
+    if nf > 0 then begin
+      let strength =
+        Cells.Cell.strength (Netlist.Circuit.cell_exn t.circuit id)
+      in
+      let line = t.f_arc.(id) in
+      for k = 0 to nf - 1 do
+        line.(k) <-
+          Variation.Model.delay_moments t.model ~delay:row.(k) ~strength
+      done
+    end;
+    t.f_row.(id) <- row
+  end
+
+let create ?(mode = Global) ?(incremental = false) ?(area_weight = 0.0)
+    ~circuit ~model ~objective ~full () =
   let electrical = Ssta.Fullssta.electrical full in
-  let down_mean, down_var = downstream_stats ~model circuit electrical in
+  let n = Netlist.Circuit.size circuit in
+  let down_mean = Array.make n 0.0 and down_var = Array.make n 0.0 in
+  downstream_stats_into ~model circuit electrical down_mean down_var;
+  let zero = Numerics.Clark.moments ~mean:0.0 ~var:0.0 in
+  let outputs = Netlist.Circuit.outputs circuit in
+  let outputs_arr =
+    if incremental then Array.of_list outputs else [||]
+  in
+  let out_idx = Array.make (if incremental then n else 0) (-1) in
+  Array.iteri (fun i o -> out_idx.(o) <- i) outputs_arr;
+  (* a sentinel no live electrical row can alias, so every cache line
+     starts stale *)
+  let stale_row = [| Float.nan |] in
   let t =
     {
       circuit;
       model;
       objective;
       mode;
+      incremental;
       electrical;
+      full;
       boundary = Ssta.Fullssta.moments full;
       down_mean;
       down_var;
-      base =
-        Array.make (Netlist.Circuit.size circuit)
-          (Numerics.Clark.moments ~mean:0.0 ~var:0.0);
+      base = Array.make n zero;
       base_cost = 0.0;
       override = Hashtbl.create 997;
       area_weight;
-      wavefront = wavefront_create (Netlist.Circuit.size circuit);
+      wavefront = Netlist.Wavefront.create n;
+      in_window = Array.make n false;
+      dirt = [];
       stats = Ssta.Fassta.make_stats ();
+      f_arc =
+        (if incremental then
+           Array.init n (fun id ->
+               Array.make
+                 (Array.length (Netlist.Circuit.fanins circuit id))
+                 zero)
+         else [||]);
+      f_row = (if incremental then Array.make n stale_row else [||]);
+      ov_m = (if incremental then Array.make n zero else [||]);
+      ov_gen = Array.make (if incremental then n else 0) 0;
+      gen = 0;
+      outputs_arr;
+      out_idx;
+      out_prefix = Array.make (Array.length outputs_arr) zero;
+      min_out = max_int;
+      base_sigma = Array.make (if incremental then n else 0) 0.0;
+      pend = Array.make (if incremental then n else 0) 0;
+      pend_gen = Array.make (if incremental then n else 0) 0;
+      vc_ov = [||];
+      vc_ov_gen = [||];
+      vc_arc = [||];
+      vc_arc_gen = [||];
+      vc_min_out = [||];
     }
   in
+  if incremental then
+    for id = 0 to n - 1 do
+      refresh_arc_cache t id
+    done;
   refresh_base t;
   t
+
+(* Bring a persistent window up to date with the (already refreshed)
+   electrical state at the start of a new outer iteration. The FULLSSTA
+   boundary needs no action — [boundary] reads the live annotation.
+   Idempotent, and equivalent to building a fresh window. *)
+let refresh t =
+  downstream_stats_into ~model:t.model t.circuit t.electrical t.down_mean
+    t.down_var;
+  refresh_base t
 
 let score t o (m : Numerics.Clark.moments) =
   Objective.cost_of_moments t.objective
@@ -198,7 +339,12 @@ let windowed_cost t (sub : Netlist.Cone.subcircuit) =
 let moments_at t id =
   match Hashtbl.find_opt t.override id with Some m -> m | None -> t.base.(id)
 
-let recompute_node t id =
+(* One exact-Clark node recomputation, reading fanin arrivals through
+   [arrival_of]; the per-arc operations and fold order mirror
+   [Fassta.propagate_into ~exact:true] bit for bit — the incremental base
+   resync below leans on that to stop exactly where a full pass would have
+   written identical values. *)
+let recompute_node_with t arrival_of id =
   let fanins = Netlist.Circuit.fanins t.circuit id in
   if Array.length fanins = 0 then t.base.(id)
   else begin
@@ -210,7 +356,7 @@ let recompute_node t id =
         let arc =
           Variation.Model.delay_moments t.model ~delay:arcs.(k) ~strength
         in
-        let arrival = Numerics.Clark.sum (moments_at t fi) arc in
+        let arrival = Numerics.Clark.sum (arrival_of fi) arc in
         acc :=
           Some
             (match !acc with
@@ -220,12 +366,69 @@ let recompute_node t id =
     match !acc with Some m -> m | None -> assert false
   end
 
-let trial_cost t (sub : Netlist.Cone.subcircuit) =
+let recompute_node t id = recompute_node_with t (moments_at t) id
+
+(* Incremental-engine node recompute: the same per-arc operations in the
+   same fold order as [recompute_node], with two cache reads replacing
+   recomputation. Arc delay moments come from [f_arc] whenever the node's
+   electrical row is the committed one (pointer-equal — a trial only
+   replaces rows inside its perturbation cone, and restores them after);
+   trial arrivals come from the generation-stamped override arrays instead
+   of a Hashtbl probe. Every value read here is bit-identical to what the
+   oracle path computes, so costs — and sizing decisions — cannot drift. *)
+let fast_recompute_into t acc id =
+  let fanins = Netlist.Circuit.fanins t.circuit id in
+  let nf = Array.length fanins in
+  if nf = 0 then begin
+    let b = t.base.(id) in
+    acc.am <- b.Numerics.Clark.mean;
+    acc.av <- b.Numerics.Clark.var
+  end
+  else begin
+    let row = Sta.Electrical.arc_delays t.electrical id in
+    let cached = row == t.f_row.(id) in
+    let line = t.f_arc.(id) in
+    let strength =
+      if cached then 0.0
+      else Cells.Cell.strength (Netlist.Circuit.cell_exn t.circuit id)
+    in
+    let gen = t.gen in
+    (* unsafe accesses: k < nf = |fanins| = |line| = |row|, and fi is a
+       node id, so every indexed array (length [size circuit]) covers it *)
+    for k = 0 to nf - 1 do
+      let fi = Array.unsafe_get fanins k in
+      let arc =
+        if cached then Array.unsafe_get line k
+        else
+          Variation.Model.delay_moments t.model
+            ~delay:(Array.unsafe_get row k)
+            ~strength
+      in
+      let m =
+        if Array.unsafe_get t.ov_gen fi = gen then Array.unsafe_get t.ov_m fi
+        else Array.unsafe_get t.base fi
+      in
+      let sm = m.Numerics.Clark.mean +. arc.Numerics.Clark.mean in
+      let sv = m.Numerics.Clark.var +. arc.Numerics.Clark.var in
+      if k = 0 then begin
+        acc.am <- sm;
+        acc.av <- sv
+      end
+      else scalar_max acc sm sv
+    done
+  end
+
+(* [seed] enqueues the trial's change seeds: every window member for the
+   full-sweep path, or just the electrically-dirty nodes for the
+   incremental path. Nodes whose recomputed moments do not move simply
+   drop out of the drain, so the narrower seeding scores identically. *)
+let trial_cost t ~seed =
   Hashtbl.reset t.override;
   let w = t.wavefront in
-  Array.iter (fun id -> wavefront_push w id) sub.Netlist.Cone.members;
+  Netlist.Wavefront.clear w;
+  seed (fun id -> Netlist.Wavefront.push w id);
   let rec drain () =
-    let id = wavefront_pop w in
+    let id = Netlist.Wavefront.pop w in
     if id >= 0 then begin
       let fresh = recompute_node t id in
       let old = t.base.(id) in
@@ -237,7 +440,7 @@ let trial_cost t (sub : Netlist.Cone.subcircuit) =
       if moved then begin
         Hashtbl.replace t.override id fresh;
         Netlist.Circuit.iter_fanouts t.circuit id ~f:(fun fo ->
-            wavefront_push w fo)
+            Netlist.Wavefront.push w fo)
       end
       else Hashtbl.remove t.override id;
       drain ()
@@ -245,6 +448,60 @@ let trial_cost t (sub : Netlist.Cone.subcircuit) =
   in
   drain ();
   rv_cost t (moments_at t)
+
+(* Incremental-engine trial scoring: semantically [trial_cost] — same
+   seeds, same [epsilon_wave] stop on the same recomputed moments — on the
+   flat cache structures. Opening a trial is one generation bump, and the
+   final RV_O fold resumes from the cached prefix at the first perturbed
+   output (or short-circuits to the committed cost when no output moved,
+   which is bit-equal to folding all-base values: [base_cost] was produced
+   by that very fold). *)
+let fast_trial_cost t ~seed =
+  t.gen <- t.gen + 1;
+  t.min_out <- max_int;
+  let w = t.wavefront in
+  Netlist.Wavefront.clear w;
+  seed (fun id -> Netlist.Wavefront.push w id);
+  let acc = { am = 0.0; av = 0.0 } in
+  let push_fanout fo = Netlist.Wavefront.push w fo in
+  let rec drain () =
+    let id = Netlist.Wavefront.pop w in
+    if id >= 0 then begin
+      fast_recompute_into t acc id;
+      let old = t.base.(id) in
+      let moved =
+        Float.abs (acc.am -. old.Numerics.Clark.mean)
+        +. Float.abs (Float.sqrt acc.av -. t.base_sigma.(id))
+        > epsilon_wave
+      in
+      if moved then begin
+        t.ov_m.(id) <- Numerics.Clark.moments ~mean:acc.am ~var:acc.av;
+        t.ov_gen.(id) <- t.gen;
+        let oi = t.out_idx.(id) in
+        if oi >= 0 && oi < t.min_out then t.min_out <- oi;
+        Netlist.Circuit.iter_fanouts t.circuit id ~f:push_fanout
+      end;
+      drain ()
+    end
+  in
+  drain ();
+  if t.min_out = max_int then t.base_cost
+  else begin
+    let outs = t.outputs_arr in
+    let gen = t.gen in
+    let read o = if t.ov_gen.(o) = gen then t.ov_m.(o) else t.base.(o) in
+    let j = t.min_out in
+    let m0 = read outs.(j) in
+    let acc =
+      ref
+        (if j = 0 then m0
+         else Numerics.Clark.max_exact t.out_prefix.(j - 1) m0)
+    in
+    for i = j + 1 to Array.length outs - 1 do
+      acc := Numerics.Clark.max_exact !acc (read outs.(i))
+    done;
+    Objective.cost_of_moments t.objective !acc
+  end
 
 (* Cost of the window as currently sized (no trial cell). *)
 let cost t (sub : Netlist.Cone.subcircuit) =
@@ -271,13 +528,21 @@ let fanin_adjustments t ~lib pivot =
 
 (* Evaluate one trial cell for the window's pivot (plus its induced fanin
    co-sizing): install, recompute the window electrically, score, restore.
-   Returns the cost and the fanin adjustments the trial would commit. *)
+   Returns the cost and the fanin adjustments the trial would commit.
+
+   Two electrically-equivalent trial engines share the scoring shell. The
+   full-sweep path snapshots and recomputes every window member; the
+   incremental path (t.incremental) seeds a clipped [Electrical.update]
+   from the resized gates only — the exact stop writes the same values the
+   full sweep would, touching just the true perturbation cone, and its undo
+   log rewinds precisely what was touched. Both stay clipped to the window
+   (slew perturbations are assumed to die out within its two levels), so
+   the two paths score every trial identically. *)
 let cost_with_cell ?(co_size = true) ~lib t (sub : Netlist.Cone.subcircuit) trial
     =
   let pivot = sub.Netlist.Cone.pivot in
   let original = Netlist.Circuit.cell_exn t.circuit pivot in
   let members = sub.Netlist.Cone.members in
-  let snap = Sta.Electrical.snapshot t.electrical members in
   Netlist.Circuit.set_cell t.circuit pivot trial;
   let adjustments = if co_size then fanin_adjustments t ~lib pivot else [] in
   let saved =
@@ -288,20 +553,41 @@ let cost_with_cell ?(co_size = true) ~lib t (sub : Netlist.Cone.subcircuit) tria
   List.iter
     (fun (fi, cell) -> Netlist.Circuit.set_cell t.circuit fi cell)
     adjustments;
-  Fun.protect
-    ~finally:(fun () ->
-      List.iter
-        (fun (fi, cell) -> Netlist.Circuit.set_cell t.circuit fi cell)
-        saved;
-      Netlist.Circuit.set_cell t.circuit pivot original;
-      Sta.Electrical.restore t.electrical snap)
-    (fun () ->
-      Sta.Electrical.recompute_nodes t.electrical t.circuit members;
-      let c =
-        match t.mode with
-        | Windowed -> windowed_cost t sub
-        | Global -> trial_cost t sub
+  let restore_cells () =
+    List.iter
+      (fun (fi, cell) -> Netlist.Circuit.set_cell t.circuit fi cell)
+      saved;
+    Netlist.Circuit.set_cell t.circuit pivot original
+  in
+  let trial_score =
+    if t.incremental then (fun () ->
+      Array.iter (fun id -> t.in_window.(id) <- true) members;
+      let dirty, log =
+        Sta.Electrical.update_logged
+          ~within:(fun id -> t.in_window.(id))
+          t.electrical t.circuit
+          ~resized:(pivot :: List.map fst adjustments)
       in
+      Fun.protect
+        ~finally:(fun () ->
+          Sta.Electrical.restore t.electrical log;
+          Array.iter (fun id -> t.in_window.(id) <- false) members)
+        (fun () ->
+          match t.mode with
+          | Windowed -> windowed_cost t sub
+          | Global -> fast_trial_cost t ~seed:(fun push -> List.iter push dirty)))
+    else (fun () ->
+      let snap = Sta.Electrical.snapshot t.electrical members in
+      Fun.protect
+        ~finally:(fun () -> Sta.Electrical.restore t.electrical snap)
+        (fun () ->
+          Sta.Electrical.recompute_nodes t.electrical t.circuit members;
+          match t.mode with
+          | Windowed -> windowed_cost t sub
+          | Global -> trial_cost t ~seed:(fun push -> Array.iter push members)))
+  in
+  Fun.protect ~finally:restore_cells (fun () ->
+      let c = trial_score () in
       (* area-aware variant: price the area this move adds (baseline mean
          optimization uses it to stop at diminishing returns) *)
       let area_delta =
@@ -324,10 +610,242 @@ type verdict = {
   current_cost : float;
 }
 
+(* Grow the vectorized-trial structures to [nc] candidate slots. Fresh
+   generation-stamp arrays start at 0 and [t.gen] is bumped before any
+   batch, so new slots begin universally invalid without clearing. *)
+let ensure_vc t nc =
+  let cur = Array.length t.vc_ov in
+  if cur < nc then begin
+    let n = Array.length t.ov_gen in
+    let zero = Numerics.Clark.moments ~mean:0.0 ~var:0.0 in
+    let grow mk old = Array.init nc (fun c -> if c < cur then old.(c) else mk ()) in
+    t.vc_ov <- grow (fun () -> Array.make n zero) t.vc_ov;
+    t.vc_ov_gen <- grow (fun () -> Array.make n 0) t.vc_ov_gen;
+    t.vc_arc <- grow (fun () -> Array.make n [||]) t.vc_arc;
+    t.vc_arc_gen <- grow (fun () -> Array.make n 0) t.vc_arc_gen;
+    t.vc_min_out <- Array.make nc max_int
+  end
+
+(* Score every candidate cell of the window in ONE shared wavefront drain.
+
+   Phase 1 (capture) runs the per-cell electrical trials exactly as
+   [cost_with_cell] does — install, clipped exact-stop update, restore —
+   but instead of scoring inside the trial, it captures each dirty node's
+   arc delay moments (the same [delay_moments] calls on the same perturbed
+   rows and trial strengths the solo drain would make inline) and seeds the
+   node's pending bit for that cell.
+
+   Phase 2 (drain) pops the union wavefront in ascending id = topological
+   order and recomputes, at each node, only the cells whose bit is pending.
+   A cell's computation subsequence is then node-for-node identical to its
+   solo drain: same topological order, same fanin overrides, same arc
+   moments, same [epsilon_wave] decision — so every per-cell cost is
+   bit-identical while the heap pops and fanout walks are amortized across
+   the whole candidate set. *)
+let vec_costs t ~lib ~co_size (sub : Netlist.Cone.subcircuit) trials =
+  let pivot = sub.Netlist.Cone.pivot in
+  let original = Netlist.Circuit.cell_exn t.circuit pivot in
+  let members = sub.Netlist.Cone.members in
+  let nc = Array.length trials in
+  ensure_vc t nc;
+  t.gen <- t.gen + 1;
+  let gen = t.gen in
+  let w = t.wavefront in
+  Netlist.Wavefront.clear w;
+  Array.fill t.vc_min_out 0 nc max_int;
+  let adjs = Array.make nc [] in
+  let area_deltas = Array.make nc 0.0 in
+  Array.iter (fun id -> t.in_window.(id) <- true) members;
+  Fun.protect
+    ~finally:(fun () -> Array.iter (fun id -> t.in_window.(id) <- false) members)
+    (fun () ->
+      Array.iteri
+        (fun c trial ->
+          Netlist.Circuit.set_cell t.circuit pivot trial;
+          let adjustments =
+            if co_size then fanin_adjustments t ~lib pivot else []
+          in
+          let saved =
+            List.map
+              (fun (fi, _) -> (fi, Netlist.Circuit.cell_exn t.circuit fi))
+              adjustments
+          in
+          List.iter
+            (fun (fi, cell) -> Netlist.Circuit.set_cell t.circuit fi cell)
+            adjustments;
+          adjs.(c) <- adjustments;
+          area_deltas.(c) <-
+            (if t.area_weight = 0.0 then 0.0
+             else
+               Cells.Cell.area trial -. Cells.Cell.area original
+               +. List.fold_left
+                    (fun acc ((fi, cell), (_, old_cell)) ->
+                      ignore fi;
+                      acc +. Cells.Cell.area cell -. Cells.Cell.area old_cell)
+                    0.0
+                    (List.combine adjustments saved));
+          Fun.protect
+            ~finally:(fun () ->
+              List.iter
+                (fun (fi, cell) -> Netlist.Circuit.set_cell t.circuit fi cell)
+                saved;
+              Netlist.Circuit.set_cell t.circuit pivot original)
+            (fun () ->
+              let dirty, log =
+                Sta.Electrical.update_logged
+                  ~within:(fun id -> t.in_window.(id))
+                  t.electrical t.circuit
+                  ~resized:(pivot :: List.map fst adjustments)
+              in
+              Fun.protect
+                ~finally:(fun () -> Sta.Electrical.restore t.electrical log)
+                (fun () ->
+                  List.iter
+                    (fun id ->
+                      let fanins = Netlist.Circuit.fanins t.circuit id in
+                      let nf = Array.length fanins in
+                      if nf > 0 then begin
+                        let row = Sta.Electrical.arc_delays t.electrical id in
+                        let strength =
+                          Cells.Cell.strength
+                            (Netlist.Circuit.cell_exn t.circuit id)
+                        in
+                        (* reuse the slot's array across batches when the
+                           fanin count is unchanged (values are only read
+                           under a matching generation stamp) *)
+                        let prev = t.vc_arc.(c).(id) in
+                        let line =
+                          if Array.length prev = nf then prev
+                          else begin
+                            let a = Array.make nf t.base.(id) in
+                            t.vc_arc.(c).(id) <- a;
+                            a
+                          end
+                        in
+                        for k = 0 to nf - 1 do
+                          line.(k) <-
+                            Variation.Model.delay_moments t.model
+                              ~delay:row.(k) ~strength
+                        done;
+                        t.vc_arc_gen.(c).(id) <- gen
+                      end;
+                      (if t.pend_gen.(id) = gen then
+                         t.pend.(id) <- t.pend.(id) lor (1 lsl c)
+                       else begin
+                         t.pend.(id) <- 1 lsl c;
+                         t.pend_gen.(id) <- gen
+                       end);
+                      Netlist.Wavefront.push w id)
+                    dirty)))
+        trials);
+  let acc = { am = 0.0; av = 0.0 } in
+  let prop = ref 0 in
+  let push_pend fo =
+    (if t.pend_gen.(fo) = gen then t.pend.(fo) <- t.pend.(fo) lor !prop
+     else begin
+       t.pend.(fo) <- !prop;
+       t.pend_gen.(fo) <- gen
+     end);
+    Netlist.Wavefront.push w fo
+  in
+  let rec drain () =
+    let id = Netlist.Wavefront.pop w in
+    if id >= 0 then begin
+      let mask = if t.pend_gen.(id) = gen then t.pend.(id) else 0 in
+      let fanins = Netlist.Circuit.fanins t.circuit id in
+      let nf = Array.length fanins in
+      if nf > 0 && mask <> 0 then begin
+        let old = t.base.(id) in
+        let old_mean = old.Numerics.Clark.mean in
+        let old_sigma = t.base_sigma.(id) in
+        let line = t.f_arc.(id) in
+        let oi = t.out_idx.(id) in
+        prop := 0;
+        (* unsafe accesses: c < nc ≤ |vc_*|, k < nf = |fanins| = |arcs|,
+           and fi/id are node ids covered by every length-n array *)
+        for c = 0 to nc - 1 do
+          if mask land (1 lsl c) <> 0 then begin
+            let arcs =
+              if Array.unsafe_get (Array.unsafe_get t.vc_arc_gen c) id = gen
+              then Array.unsafe_get (Array.unsafe_get t.vc_arc c) id
+              else line
+            in
+            let ov = Array.unsafe_get t.vc_ov c
+            and ov_gen = Array.unsafe_get t.vc_ov_gen c in
+            for k = 0 to nf - 1 do
+              let fi = Array.unsafe_get fanins k in
+              let fm =
+                if Array.unsafe_get ov_gen fi = gen then Array.unsafe_get ov fi
+                else Array.unsafe_get t.base fi
+              in
+              let arc = Array.unsafe_get arcs k in
+              let sm = fm.Numerics.Clark.mean +. arc.Numerics.Clark.mean in
+              let sv = fm.Numerics.Clark.var +. arc.Numerics.Clark.var in
+              if k = 0 then begin
+                acc.am <- sm;
+                acc.av <- sv
+              end
+              else scalar_max acc sm sv
+            done;
+            let moved =
+              Float.abs (acc.am -. old_mean)
+              +. Float.abs (Float.sqrt acc.av -. old_sigma)
+              > epsilon_wave
+            in
+            if moved then begin
+              ov.(id) <- Numerics.Clark.moments ~mean:acc.am ~var:acc.av;
+              ov_gen.(id) <- gen;
+              if oi >= 0 && oi < t.vc_min_out.(c) then t.vc_min_out.(c) <- oi;
+              prop := !prop lor (1 lsl c)
+            end
+          end
+        done;
+        if !prop <> 0 then
+          Netlist.Circuit.iter_fanouts t.circuit id ~f:push_pend
+      end;
+      drain ()
+    end
+  in
+  drain ();
+  let outs = t.outputs_arr in
+  let costs =
+    Array.init nc (fun c ->
+        if t.vc_min_out.(c) = max_int then t.base_cost
+        else begin
+          let ov = t.vc_ov.(c) and ov_gen = t.vc_ov_gen.(c) in
+          let read o = if ov_gen.(o) = gen then ov.(o) else t.base.(o) in
+          let j = t.vc_min_out.(c) in
+          let m0 = read outs.(j) in
+          (if j = 0 then begin
+             acc.am <- m0.Numerics.Clark.mean;
+             acc.av <- m0.Numerics.Clark.var
+           end
+           else begin
+             let p = t.out_prefix.(j - 1) in
+             acc.am <- p.Numerics.Clark.mean;
+             acc.av <- p.Numerics.Clark.var;
+             scalar_max acc m0.Numerics.Clark.mean m0.Numerics.Clark.var
+           end);
+          for i = j + 1 to Array.length outs - 1 do
+            let m = read outs.(i) in
+            scalar_max acc m.Numerics.Clark.mean m.Numerics.Clark.var
+          done;
+          Objective.cost_of_moments t.objective
+            (Numerics.Clark.moments ~mean:acc.am ~var:acc.av)
+        end)
+  in
+  (* identical pricing arithmetic to [cost_with_cell] *)
+  Array.iteri
+    (fun c base -> costs.(c) <- base +. (t.area_weight *. area_deltas.(c)))
+    costs;
+  (costs, adjs)
+
 (* The inner loop of Fig. 2: try every available size for the pivot, return
    the best cell, its induced fanin co-sizing, and its cost (ties keep the
-   incumbent). *)
-let best_size ?co_size t ~lib (sub : Netlist.Cone.subcircuit) =
+   incumbent). The incremental Global engine scores the whole candidate set
+   through [vec_costs]; everything else evaluates one trial at a time. Both
+   produce bit-identical verdicts. *)
+let best_size ?(co_size = true) t ~lib (sub : Netlist.Cone.subcircuit) =
   let pivot = sub.Netlist.Cone.pivot in
   let current = Netlist.Circuit.cell_exn t.circuit pivot in
   let candidates = Cells.Library.sizes_of_fn lib (Cells.Cell.fn current) in
@@ -335,15 +853,40 @@ let best_size ?co_size t ~lib (sub : Netlist.Cone.subcircuit) =
   let best =
     ref { best = current; co_resizes = []; best_cost = current_cost; current_cost }
   in
-  Array.iter
-    (fun cell ->
-      if not (Cells.Cell.equal cell current) then begin
-        let c, adjustments = cost_with_cell ?co_size ~lib t sub cell in
-        if c < !best.best_cost then
+  let trials =
+    Array.of_list
+      (List.filter
+         (fun cell -> not (Cells.Cell.equal cell current))
+         (Array.to_list candidates))
+  in
+  if
+    t.incremental && t.mode = Global
+    && Array.length trials > 0
+    && Array.length trials <= max_vec_cells
+  then begin
+    let costs, adjs = vec_costs t ~lib ~co_size sub trials in
+    Array.iteri
+      (fun c cell ->
+        if costs.(c) < !best.best_cost then
           best :=
-            { !best with best = cell; co_resizes = adjustments; best_cost = c }
-      end)
-    candidates;
+            {
+              !best with
+              best = cell;
+              co_resizes = adjs.(c);
+              best_cost = costs.(c);
+            })
+      trials
+  end
+  else
+    Array.iter
+      (fun cell ->
+        if not (Cells.Cell.equal cell current) then begin
+          let c, adjustments = cost_with_cell ~co_size ~lib t sub cell in
+          if c < !best.best_cost then
+            best :=
+              { !best with best = cell; co_resizes = adjustments; best_cost = c }
+        end)
+      candidates;
   !best
 
 (* Make a committed resize visible to subsequent window evaluations. A full
@@ -353,5 +896,74 @@ let best_size ?co_size t ~lib (sub : Netlist.Cone.subcircuit) =
 let commit t (_sub : Netlist.Cone.subcircuit) =
   Sta.Electrical.recompute_all t.electrical t.circuit;
   refresh_base t
+
+(* Incremental commit: an unclipped exact-stop [Electrical.update] from the
+   resized gates, then the cached base arrivals are resynced by draining
+   the change wavefront with a bit-equal stop — [recompute_node_with]
+   performs the same operations in the same order as the full
+   [propagate_into ~exact:true] pass, so a node whose fanin arrivals and
+   arc delays are unchanged recomputes to bit-identical moments and the
+   sweep halts there, leaving [base] bit-equal to a full refresh. The
+   FULLSSTA annotation is deliberately NOT touched here: mid-sweep trials
+   read it only as the frozen boundary (Windowed mode) or not at all
+   (Global mode reads [base]), and the caller re-syncs it once per outer
+   iteration with [Fullssta.update]. *)
+let commit_incremental t ~resized =
+  let dirty = Sta.Electrical.update t.electrical t.circuit ~resized in
+  (* Re-derive the arc caches of every replaced row before the resync, so
+     the drain below (and all later trials) read committed-state arc
+     moments; a fresh generation leaves no trial override live, making
+     [fast_recompute_node] read pure base arrivals — exactly what
+     [recompute_node_with (fun fi -> t.base.(fi))] did. *)
+  List.iter (fun id -> refresh_arc_cache t id) dirty;
+  t.gen <- t.gen + 1;
+  let w = t.wavefront in
+  Netlist.Wavefront.clear w;
+  List.iter (fun id -> Netlist.Wavefront.push w id) dirty;
+  let acc = { am = 0.0; av = 0.0 } in
+  let push_fanout fo = Netlist.Wavefront.push w fo in
+  let min_o = ref max_int in
+  let rec drain () =
+    let id = Netlist.Wavefront.pop w in
+    if id >= 0 then begin
+      fast_recompute_into t acc id;
+      let old = t.base.(id) in
+      if
+        not
+          (Float.equal acc.am old.Numerics.Clark.mean
+          && Float.equal acc.av old.Numerics.Clark.var)
+      then begin
+        t.base.(id) <- Numerics.Clark.moments ~mean:acc.am ~var:acc.av;
+        t.base_sigma.(id) <- Float.sqrt acc.av;
+        let oi = t.out_idx.(id) in
+        if oi >= 0 && oi < !min_o then min_o := oi;
+        Netlist.Circuit.iter_fanouts t.circuit id ~f:push_fanout
+      end;
+      drain ()
+    end
+  in
+  drain ();
+  (* the resync wrote nothing before output index [min_o], so earlier prefix
+     entries — and, when no output arrival changed at all, the committed
+     cost itself — are already the values a full refold would produce (the
+     last prefix entry IS the RV_O fold [cost_of_rv] performs: the same left
+     [max_exact] fold over the same output order) *)
+  (let m = Array.length t.out_prefix in
+   if !min_o < m then begin
+     rebuild_out_prefix ~from:!min_o t;
+     t.base_cost <- Objective.cost_of_moments t.objective t.out_prefix.(m - 1)
+   end
+   else if m = 0 then t.base_cost <- rv_cost t (fun o -> t.base.(o)));
+  t.dirt <- List.rev_append dirty t.dirt
+
+let base_cost t = t.base_cost
+
+(* Hand the accumulated electrical-dirty ids (from incremental commits) to
+   the caller and forget them; used to decide when a dominance prune needs
+   recomputing. *)
+let take_dirt t =
+  let d = t.dirt in
+  t.dirt <- [];
+  d
 
 let fassta_stats t = t.stats

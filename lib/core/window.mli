@@ -13,6 +13,7 @@ type mode =
 
 val create :
   ?mode:mode ->
+  ?incremental:bool ->
   ?area_weight:float ->
   circuit:Netlist.Circuit.t ->
   model:Variation.Model.t ->
@@ -22,9 +23,18 @@ val create :
   t
 (** Shares the FULLSSTA run's electrical state; trials mutate and restore
     it, so the [full] annotation must come from the same circuit object.
-    Default mode: [Global]. [area_weight] (default 0) adds
-    ps-per-area-unit pricing of each move's area delta to trial costs —
-    the baseline mean optimizer uses it to stop at diminishing returns. *)
+    Default mode: [Global]. [incremental] (default false) switches trials
+    to dirty-cone electrical updates (clipped to the window, exact-stop, so
+    trial scores are identical) and enables {!commit_incremental}.
+    [area_weight] (default 0) adds ps-per-area-unit pricing of each move's
+    area delta to trial costs — the baseline mean optimizer uses it to stop
+    at diminishing returns. *)
+
+val refresh : t -> unit
+(** Bring a persistent window up to date at the start of a new outer
+    iteration (downstream slack stats + cached base arrivals), assuming the
+    shared electrical state is already in sync. Equivalent to building a
+    fresh window over the same annotation. *)
 
 val cost : t -> Netlist.Cone.subcircuit -> float
 (** Window cost as currently sized. *)
@@ -57,6 +67,23 @@ val best_size :
 val commit : t -> Netlist.Cone.subcircuit -> unit
 (** Re-derive the window's electrical state after a committed resize so
     later evaluations in the same outer iteration see it. *)
+
+val commit_incremental : t -> resized:Netlist.Circuit.id list -> unit
+(** Incremental equivalent of {!commit}: exact-stop electrical update from
+    the [resized] gates and a change-wavefront resync of the cached base
+    arrivals with a bit-equal stop — the state after it is bit-identical to
+    {!commit}'s full refresh. Does not touch the FULLSSTA annotation; the
+    caller re-syncs it once per outer iteration via
+    {!Ssta.Fullssta.update}. *)
+
+val base_cost : t -> float
+(** RV_O cost of the committed sizes, as maintained by commits. *)
+
+val take_dirt : t -> Netlist.Circuit.id list
+(** Electrical-dirty ids accumulated by {!commit_incremental} since the last
+    call (unordered, may contain duplicates); clears the accumulator. Lets
+    callers invalidate caches keyed on electrical state — e.g. recompute a
+    dominance prune only when the dirt touches a pruned cone. *)
 
 val fassta_stats : t -> Ssta.Fassta.stats
 (** Accumulated cutoff/blend counts across all evaluations. *)

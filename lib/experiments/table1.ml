@@ -27,21 +27,46 @@ let run_circuit ?(alphas = default_alphas) ?sizer_config ~lib
     runs;
   }
 
+(* Circuits are independent end-to-end (each builds its own netlist and
+   threads its own sizer state), so the table parallelizes by round-robin
+   chunking the resolved entries across [domains] stdlib domains. Results
+   land in a positional array, so row order — and therefore every printed
+   table — is identical to the sequential run's. [domains = 1] (the
+   default) never spawns and keeps the historical fully-deterministic
+   behavior, progress interleaving included; with more domains the only
+   shared mutable state is the library's LUT out-of-bound counters, whose
+   unsynchronized increments can at worst under-count LIB007 warnings. *)
 let run ?(alphas = default_alphas) ?sizer_config ?(names = Benchgen.Iscas_like.names)
-    ~lib () =
-  List.filter_map
-    (fun name ->
-      match Benchgen.Iscas_like.find name with
-      | None -> None
-      | Some entry ->
-          Fmt.epr "[table1] %s...@." name;
-          let row = run_circuit ~alphas ?sizer_config ~lib entry in
-          Fmt.epr "[table1] %s done (%.1f s)@." name
-            (List.fold_left
-               (fun acc (r : Pipeline.stat_run) -> acc +. r.runtime_s)
-               0.0 row.runs);
-          Some row)
-    names
+    ?(domains = 1) ~lib () =
+  let entries = List.filter_map Benchgen.Iscas_like.find names in
+  let run_entry (entry : Benchgen.Iscas_like.entry) =
+    Fmt.epr "[table1] %s...@." entry.Benchgen.Iscas_like.name;
+    let row = run_circuit ~alphas ?sizer_config ~lib entry in
+    Fmt.epr "[table1] %s done (%.1f s)@." entry.Benchgen.Iscas_like.name
+      (List.fold_left
+         (fun acc (r : Pipeline.stat_run) -> acc +. r.runtime_s)
+         0.0 row.runs);
+    row
+  in
+  if domains <= 1 then List.map run_entry entries
+  else begin
+    let entries = Array.of_list entries in
+    let n = Array.length entries in
+    let results = Array.make n None in
+    let workers = Int.min domains (Int.max 1 n) in
+    List.init workers (fun w ->
+        Domain.spawn (fun () ->
+            let acc = ref [] in
+            let i = ref w in
+            while !i < n do
+              acc := (!i, run_entry entries.(!i)) :: !acc;
+              i := !i + workers
+            done;
+            !acc))
+    |> List.iter (fun d ->
+           List.iter (fun (i, row) -> results.(i) <- Some row) (Domain.join d));
+    Array.to_list results |> List.filter_map Fun.id
+  end
 
 let pp_header ppf alphas =
   Fmt.pf ppf "%-8s %6s %9s" "circuit" "gates" "orig s/m";

@@ -22,9 +22,13 @@ val run :
   ?alphas:float list ->
   ?sizer_config:Core.Sizer.config ->
   ?names:string list ->
+  ?domains:int ->
   lib:Cells.Library.t ->
   unit ->
   row list
+(** [domains] (default 1) round-robins the independent circuits across that
+    many stdlib domains; row order matches the sequential run, and the
+    default never spawns, so test determinism is unchanged. *)
 
 val pp : row list Fmt.t
 val to_csv : row list -> string

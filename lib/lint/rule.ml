@@ -76,6 +76,10 @@ let all =
     mk "STAT004" Stat_pack e "Clark precondition a > 0 violated"
       "Clark's max formulas divide by a = sqrt(varA + varB - 2*cov); a \
        zero-sigma model degenerates every max";
+    mk "STAT005" Stat_pack e "incremental SSTA diverged from the scratch oracle"
+      "paranoid mode re-runs the from-scratch engine after every incremental \
+       update; any disagreement beyond the decay budget means the dirty-cone \
+       bookkeeping dropped a dependency";
     mk "ABS001" Abs_pack e "FULLSSTA mean escapes its certified interval"
       "statcheck's distribution-free enclosures are sound for any engine \
        faithful to the model; a mean outside them is an engine defect, not \

@@ -1,0 +1,72 @@
+(* Mutable min-heap of node ids with a dedup bitmap.
+
+   The incremental engines (electrical sweeps, FASSTA trial scoring, FULLSSTA
+   re-propagation) all process change wavefronts in ascending id order —
+   which, by the circuit construction invariant, is topological order — and
+   they run thousands of times per sizing iteration, so pushes and pops must
+   not allocate. Grown out of Core.Window's private heap and shared here so
+   every layer drains changes the same way. *)
+
+type t = {
+  mutable heap : int array;
+  mutable heap_len : int;
+  queued : bool array; (* sized to the circuit *)
+}
+
+let create n = { heap = Array.make 64 0; heap_len = 0; queued = Array.make n false }
+
+let capacity t = Array.length t.queued
+let is_empty t = t.heap_len = 0
+
+let mem t id = t.queued.(id)
+
+let push t id =
+  if not t.queued.(id) then begin
+    t.queued.(id) <- true;
+    if t.heap_len = Array.length t.heap then begin
+      let grown = Array.make (2 * t.heap_len) 0 in
+      Array.blit t.heap 0 grown 0 t.heap_len;
+      t.heap <- grown
+    end;
+    t.heap.(t.heap_len) <- id;
+    t.heap_len <- t.heap_len + 1;
+    let i = ref (t.heap_len - 1) in
+    while !i > 0 && t.heap.((!i - 1) / 2) > t.heap.(!i) do
+      let p = (!i - 1) / 2 in
+      let tmp = t.heap.(p) in
+      t.heap.(p) <- t.heap.(!i);
+      t.heap.(!i) <- tmp;
+      i := p
+    done
+  end
+
+let pop t =
+  if t.heap_len = 0 then -1
+  else begin
+    let top = t.heap.(0) in
+    t.heap_len <- t.heap_len - 1;
+    t.heap.(0) <- t.heap.(t.heap_len);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < t.heap_len && t.heap.(l) < t.heap.(!smallest) then smallest := l;
+      if r < t.heap_len && t.heap.(r) < t.heap.(!smallest) then smallest := r;
+      if !smallest <> !i then begin
+        let tmp = t.heap.(!i) in
+        t.heap.(!i) <- t.heap.(!smallest);
+        t.heap.(!smallest) <- tmp;
+        i := !smallest
+      end
+      else continue := false
+    done;
+    t.queued.(top) <- false;
+    top
+  end
+
+let clear t =
+  while t.heap_len > 0 do
+    t.heap_len <- t.heap_len - 1;
+    t.queued.(t.heap.(t.heap_len)) <- false
+  done

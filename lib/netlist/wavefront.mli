@@ -1,0 +1,25 @@
+(** Allocation-free change-wavefront queue: a min-heap of node ids with a
+    dedup bitmap. Ascending id order is topological order by the circuit
+    construction invariant, so draining a wavefront visits every touched
+    node after all of its touched fanins. Shared by the incremental
+    electrical sweep, FASSTA trial scoring, and FULLSSTA re-propagation. *)
+
+type t
+
+val create : int -> t
+(** [create n] sizes the dedup bitmap for node ids [0 .. n-1]. *)
+
+val capacity : t -> int
+(** The [n] the queue was created for. *)
+
+val push : t -> int -> unit
+(** Enqueue an id; already-queued ids are ignored (the bitmap dedups). *)
+
+val pop : t -> int
+(** Smallest queued id, or [-1] when empty. *)
+
+val mem : t -> int -> bool
+val is_empty : t -> bool
+
+val clear : t -> unit
+(** Drop all queued ids (leaves the bitmap clean). *)

@@ -31,7 +31,14 @@ let shift a d = { a with mean = a.mean +. d }
 type resolution = Left_dominates | Right_dominates | Blended
 
 let spread ?(rho = 0.0) a b =
-  let v = a.var +. b.var -. (2.0 *. rho *. sigma a *. sigma b) in
+  (* the rho = 0 hot path skips the two sigma square roots: the correlation
+     term is then [0.0 *. sigma a *. sigma b] = +0.0 (sigmas are finite and
+     non-negative), and [v -. 0.0] is bitwise [v], so both branches produce
+     the identical float *)
+  let v =
+    if rho = 0.0 then a.var +. b.var
+    else a.var +. b.var -. (2.0 *. rho *. sigma a *. sigma b)
+  in
   Float.sqrt (Float.max v 0.0)
 
 let max_exact ?(rho = 0.0) a b =

@@ -12,6 +12,37 @@ type t = { xs : float array; ps : float array }
 
 let epsilon_mass = 1e-12
 
+(* Per-domain scratch buffers for the hot kernels: [sum], [resample] and
+   [of_normal] run hundreds of times per SSTA pass, and their intermediates
+   (cross-product points, merge temporaries, bin accumulators) would
+   otherwise churn the minor heap at several MB per pass. Domain-local so
+   the experiment runners can fan out over domains without sharing. Only
+   intermediates live here — every returned pdf is built from fresh
+   arrays, so results never alias the pool. *)
+type scratch = {
+  mutable s1 : float array;
+  mutable s2 : float array;
+  mutable s3 : float array;
+  mutable s4 : float array;
+  mutable s5 : float array;
+}
+
+let scratch_key =
+  Domain.DLS.new_key (fun () ->
+      { s1 = [||]; s2 = [||]; s3 = [||]; s4 = [||]; s5 = [||] })
+
+let scratch_get n =
+  let s = Domain.DLS.get scratch_key in
+  if Array.length s.s1 < n then begin
+    let m = Stdlib.max n (2 * Array.length s.s1) in
+    s.s1 <- Array.make m 0.0;
+    s.s2 <- Array.make m 0.0;
+    s.s3 <- Array.make m 0.0;
+    s.s4 <- Array.make m 0.0;
+    s.s5 <- Array.make m 0.0
+  end;
+  s
+
 let check_invariants t =
   let n = Array.length t.xs in
   n > 0
@@ -23,33 +54,128 @@ let check_invariants t =
   let total = Array.fold_left ( +. ) 0.0 t.ps in
   Float.abs (total -. 1.0) < 1e-6
 
-(* Collapse duplicate support points, drop negligible masses, renormalize. *)
+(* Stable bottom-up merge sort of the first [n] entries of the parallel
+   point arrays, ascending by support value. Stability (equal values keep
+   their arrival order) matters: duplicate support points are later merged
+   by sequential mass addition, and float addition is not associative, so
+   the accumulation order is part of the kernel's observable semantics.
+   A sortedness pre-scan makes the common already-sorted case (max, resample
+   bins) a single pass. *)
+let sort_points xs ps n =
+  (* supports are finite and non-NaN (module invariant), so the raw float
+     comparison is exact and avoids an external call per element *)
+  let sorted = ref true in
+  for i = 1 to n - 1 do
+    if xs.(i - 1) > xs.(i) then sorted := false
+  done;
+  if not !sorted then begin
+    let idx = Array.init n Fun.id in
+    let tmp = Array.make n 0 in
+    let width = ref 1 in
+    while !width < n do
+      let w = !width in
+      let lo = ref 0 in
+      while !lo < n - w do
+        let mid = !lo + w and hi = Stdlib.min (!lo + (2 * w)) n in
+        Array.blit idx !lo tmp !lo (hi - !lo);
+        let i = ref !lo and j = ref mid and k = ref !lo in
+        while !i < mid && !j < hi do
+          if Float.compare xs.(tmp.(!i)) xs.(tmp.(!j)) <= 0 then begin
+            idx.(!k) <- tmp.(!i);
+            incr i
+          end
+          else begin
+            idx.(!k) <- tmp.(!j);
+            incr j
+          end;
+          incr k
+        done;
+        while !i < mid do
+          idx.(!k) <- tmp.(!i);
+          incr i;
+          incr k
+        done;
+        while !j < hi do
+          idx.(!k) <- tmp.(!j);
+          incr j;
+          incr k
+        done;
+        lo := !lo + (2 * w)
+      done;
+      width := 2 * w
+    done;
+    let xs' = Array.make n 0.0 and ps' = Array.make n 0.0 in
+    for i = 0 to n - 1 do
+      xs'.(i) <- xs.(idx.(i));
+      ps'.(i) <- ps.(idx.(i))
+    done;
+    Array.blit xs' 0 xs 0 n;
+    Array.blit ps' 0 ps 0 n
+  end
+
+(* Collapse duplicate support points, drop negligible masses, renormalize.
+   Works in place on the first [n] entries of the scratch arrays (which the
+   caller surrenders); the cluster write index never overtakes the read
+   index, so compaction and merging are single in-place passes. *)
+let normalize_arrays xs ps n =
+  let k = ref 0 in
+  for i = 0 to n - 1 do
+    if ps.(i) > epsilon_mass then begin
+      xs.(!k) <- xs.(i);
+      ps.(!k) <- ps.(i);
+      incr k
+    end
+  done;
+  let n = !k in
+  sort_points xs ps n;
+  (* Merge clusters of support points within 1e-12 relative distance of the
+     cluster's first point, accumulating mass in ascending order. *)
+  let m = ref 0 in
+  for i = 0 to n - 1 do
+    if
+      !m > 0
+      && Float.abs (xs.(i) -. xs.(!m - 1))
+         <= 1e-12 *. (1.0 +. Float.abs xs.(!m - 1))
+    then ps.(!m - 1) <- ps.(!m - 1) +. ps.(i)
+    else begin
+      xs.(!m) <- xs.(i);
+      ps.(!m) <- ps.(i);
+      incr m
+    end
+  done;
+  let m = !m in
+  let total = ref 0.0 in
+  for i = 0 to m - 1 do
+    total := !total +. ps.(i)
+  done;
+  if !total <= 0.0 then invalid_arg "Discrete_pdf: no probability mass";
+  let rxs = Array.sub xs 0 m in
+  let rps = Array.make m 0.0 in
+  for i = 0 to m - 1 do
+    rps.(i) <- ps.(i) /. !total
+  done;
+  { xs = rxs; ps = rps }
+
 let normalize points =
-  let points = List.filter (fun (_, p) -> p > epsilon_mass) points in
-  let points = List.sort (fun (x, _) (y, _) -> Float.compare x y) points in
-  let merged =
-    List.fold_left
-      (fun acc (x, p) ->
-        match acc with
-        | (x0, p0) :: rest when Float.abs (x -. x0) <= 1e-12 *. (1.0 +. Float.abs x0)
-          ->
-            (x0, p0 +. p) :: rest
-        | _ -> (x, p) :: acc)
-      [] points
-  in
-  let merged = List.rev merged in
-  let total = List.fold_left (fun acc (_, p) -> acc +. p) 0.0 merged in
-  if total <= 0.0 then invalid_arg "Discrete_pdf: no probability mass";
-  let n = List.length merged in
-  let xs = Array.make n 0.0 and ps = Array.make n 0.0 in
+  let n = List.length points in
+  let xs = Array.make (Stdlib.max n 1) 0.0
+  and ps = Array.make (Stdlib.max n 1) 0.0 in
   List.iteri
     (fun i (x, p) ->
       xs.(i) <- x;
-      ps.(i) <- p /. total)
-    merged;
-  { xs; ps }
+      ps.(i) <- p)
+    points;
+  normalize_arrays xs ps n
 
 let of_points points = normalize points
+
+(* Bit-level equality (same support, same masses); the incremental SSTA
+   engine uses this as its exact "nothing changed, stop propagating" test. *)
+let equal a b =
+  a == b
+  || (Array.length a.xs = Array.length b.xs
+     && Array.for_all2 Float.equal a.xs b.xs
+     && Array.for_all2 Float.equal a.ps b.ps)
 
 let constant x = { xs = [| x |]; ps = [| 1.0 |] }
 
@@ -87,16 +213,19 @@ let of_normal ?(span = 4.0) ~samples ~mean ~sigma () =
   else
     let lo = mean -. (span *. sigma) and hi = mean +. (span *. sigma) in
     let step = (hi -. lo) /. float_of_int samples in
-    let bins =
-      List.init samples (fun i ->
-          let left = lo +. (float_of_int i *. step) in
-          let right = left +. step in
-          let mass =
-            Normal.cdf_at ~mean ~sigma right -. Normal.cdf_at ~mean ~sigma left
-          in
-          (0.5 *. (left +. right), mass))
-    in
-    normalize bins
+    (* both boundary CDF evaluations stay per bin: [left +. step] of one bin
+       and [lo +. i *. step] of the next are not bitwise equal, so sharing
+       them would perturb the masses in the last ulp *)
+    let s = scratch_get samples in
+    let xs = s.s1 and ps = s.s2 in
+    for i = 0 to samples - 1 do
+      let left = lo +. (float_of_int i *. step) in
+      let right = left +. step in
+      xs.(i) <- 0.5 *. (left +. right);
+      ps.(i) <-
+        Normal.cdf_at ~mean ~sigma right -. Normal.cdf_at ~mean ~sigma left
+    done;
+    normalize_arrays xs ps samples
 
 let shift t d = { t with xs = Array.map (fun x -> x +. d) t.xs }
 
@@ -143,63 +272,162 @@ let resample t ~samples =
     if hi <= lo then constant lo
     else
       let width = (hi -. lo) /. float_of_int samples in
-      let mass = Array.make samples 0.0 in
-      let m1 = Array.make samples 0.0 in
-      let m2 = Array.make samples 0.0 in
-      Array.iteri
-        (fun i x ->
-          let b =
-            Stdlib.min (samples - 1) (int_of_float ((x -. lo) /. width))
-          in
-          mass.(b) <- mass.(b) +. t.ps.(i);
-          m1.(b) <- m1.(b) +. (t.ps.(i) *. x);
-          m2.(b) <- m2.(b) +. (t.ps.(i) *. x *. x))
-        t.xs;
-      let bins = ref [] in
-      for b = samples - 1 downto 0 do
+      let s = scratch_get (2 * samples) in
+      let mass = s.s1 and m1 = s.s2 and m2 = s.s3 in
+      Array.fill mass 0 samples 0.0;
+      Array.fill m1 0 samples 0.0;
+      Array.fill m2 0 samples 0.0;
+      for i = 0 to n - 1 do
+        let x = t.xs.(i) in
+        let p = t.ps.(i) in
+        let b =
+          Stdlib.min (samples - 1) (int_of_float ((x -. lo) /. width))
+        in
+        mass.(b) <- mass.(b) +. p;
+        m1.(b) <- m1.(b) +. (p *. x);
+        m2.(b) <- m2.(b) +. (p *. x *. x)
+      done;
+      let bxs = s.s4 and bps = s.s5 in
+      let k = ref 0 in
+      for b = 0 to samples - 1 do
         if mass.(b) > epsilon_mass then begin
           let mu = m1.(b) /. mass.(b) in
           let var = Float.max ((m2.(b) /. mass.(b)) -. (mu *. mu)) 0.0 in
           let sd = Float.sqrt var in
-          if sd > 1e-9 *. (1.0 +. Float.abs mu) then
-            bins :=
-              (mu -. sd, 0.5 *. mass.(b))
-              :: (mu +. sd, 0.5 *. mass.(b))
-              :: !bins
-          else bins := (mu, mass.(b)) :: !bins
+          if sd > 1e-9 *. (1.0 +. Float.abs mu) then begin
+            bxs.(!k) <- mu -. sd;
+            bps.(!k) <- 0.5 *. mass.(b);
+            incr k;
+            bxs.(!k) <- mu +. sd;
+            bps.(!k) <- 0.5 *. mass.(b);
+            incr k
+          end
+          else begin
+            bxs.(!k) <- mu;
+            bps.(!k) <- mass.(b);
+            incr k
+          end
         end
       done;
-      normalize !bins
+      normalize_arrays bxs bps !k
 
-(* Sum of independent discrete random variables: cross sums of supports with
-   product masses. Callers resample afterwards to bound growth. *)
+(* Sum of independent discrete random variables: cross sums of supports
+   with product masses. The cross product is generated as [na] runs that
+   are already ascending (fixed outer point, inner support is strictly
+   increasing), so a stable bottom-up merge starting at run width [nb]
+   reaches the sorted order in log(na) passes with no index indirection —
+   the hot kernel of every pdf propagation step. The result order is the
+   unique stable ascending permutation, exactly what [sort_points] would
+   produce, and filtering commutes with stable sorting, so the digest in
+   [normalize_arrays] sees bit-identical data. Callers resample afterwards
+   to bound growth. *)
 let sum a b =
-  let acc = ref [] in
-  Array.iteri
-    (fun i xa ->
-      Array.iteri
-        (fun j xb -> acc := (xa +. xb, a.ps.(i) *. b.ps.(j)) :: !acc)
-        b.xs)
-    a.xs;
-  normalize !acc
+  let na = Array.length a.xs and nb = Array.length b.xs in
+  let n = na * nb in
+  let s = scratch_get n in
+  let xs = s.s1 and ps = s.s2 in
+  (* runs keep the historical outer order (descending index) so equal
+     support values across runs retain their generation order for the
+     stable merge; within a run values are strictly increasing, so the
+     ascending inner traversal cannot reorder ties *)
+  let k = ref 0 in
+  for i = na - 1 downto 0 do
+    let xa = a.xs.(i) and pa = a.ps.(i) in
+    for j = 0 to nb - 1 do
+      xs.(!k) <- xa +. b.xs.(j);
+      ps.(!k) <- pa *. b.ps.(j);
+      incr k
+    done
+  done;
+  if na > 1 then begin
+    let tx = s.s3 and tp = s.s4 in
+    let src_x = ref xs
+    and src_p = ref ps
+    and dst_x = ref tx
+    and dst_p = ref tp in
+    let width = ref nb in
+    while !width < n do
+      let w = !width in
+      let sx = !src_x and sp = !src_p and dx = !dst_x and dp = !dst_p in
+      let lo = ref 0 in
+      while !lo < n do
+        let mid = Stdlib.min (!lo + w) n
+        and hi = Stdlib.min (!lo + (2 * w)) n in
+        let i = ref !lo and j = ref mid and k = ref !lo in
+        while !i < mid && !j < hi do
+          (* raw [<=] is exact here: supports are finite and non-NaN *)
+          if sx.(!i) <= sx.(!j) then begin
+            dx.(!k) <- sx.(!i);
+            dp.(!k) <- sp.(!i);
+            incr i
+          end
+          else begin
+            dx.(!k) <- sx.(!j);
+            dp.(!k) <- sp.(!j);
+            incr j
+          end;
+          incr k
+        done;
+        while !i < mid do
+          dx.(!k) <- sx.(!i);
+          dp.(!k) <- sp.(!i);
+          incr i;
+          incr k
+        done;
+        while !j < hi do
+          dx.(!k) <- sx.(!j);
+          dp.(!k) <- sp.(!j);
+          incr j;
+          incr k
+        done;
+        lo := !lo + (2 * w)
+      done;
+      let x = !src_x and p = !src_p in
+      src_x := !dst_x;
+      src_p := !dst_p;
+      dst_x := x;
+      dst_p := p;
+      width := 2 * w
+    done;
+    normalize_arrays !src_x !src_p n
+  end
+  else normalize_arrays xs ps n
 
 (* Max of independent discrete random variables via the CDF product
-   F_max(x) = F_A(x) · F_B(x) evaluated on the union of supports. *)
+   F_max(x) = F_A(x) · F_B(x) evaluated on the union of supports: a single
+   ascending merge over both supports with running prefix masses, O(na+nb)
+   instead of a full CDF scan per union point. *)
 let max2 a b =
-  let support =
-    List.sort_uniq Float.compare (Array.to_list a.xs @ Array.to_list b.xs)
-  in
-  let masses =
-    let prev = ref 0.0 in
-    List.filter_map
-      (fun x ->
-        let f = cdf a x *. cdf b x in
-        let m = f -. !prev in
-        prev := f;
-        if m > epsilon_mass then Some (x, m) else None)
-      support
-  in
-  normalize masses
+  let na = Array.length a.xs and nb = Array.length b.xs in
+  let xs = Array.make (na + nb) 0.0 and ps = Array.make (na + nb) 0.0 in
+  let m = ref 0 in
+  let ia = ref 0 and ib = ref 0 in
+  let fa = ref 0.0 and fb = ref 0.0 in
+  let prev = ref 0.0 in
+  while !ia < na || !ib < nb do
+    let x =
+      if !ia >= na then b.xs.(!ib)
+      else if !ib >= nb then a.xs.(!ia)
+      else Float.min a.xs.(!ia) b.xs.(!ib)
+    in
+    while !ia < na && a.xs.(!ia) <= x do
+      fa := !fa +. a.ps.(!ia);
+      incr ia
+    done;
+    while !ib < nb && b.xs.(!ib) <= x do
+      fb := !fb +. b.ps.(!ib);
+      incr ib
+    done;
+    let f = Float.min !fa 1.0 *. Float.min !fb 1.0 in
+    let mass = f -. !prev in
+    prev := f;
+    if mass > epsilon_mass then begin
+      xs.(!m) <- x;
+      ps.(!m) <- mass;
+      incr m
+    end
+  done;
+  normalize_arrays xs ps !m
 
 let max_list = function
   | [] -> invalid_arg "Discrete_pdf.max_list: empty"

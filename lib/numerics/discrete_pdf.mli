@@ -19,6 +19,10 @@ val of_normal :
 val of_samples : samples:int -> float list -> t
 (** Empirical distribution of raw draws, re-binned to [samples] points. *)
 
+val equal : t -> t -> bool
+(** Bit-level equality of supports and masses (no tolerance) — the exact
+    "nothing changed" test used by incremental propagation. *)
+
 val points : t -> (float * float) list
 val support_size : t -> int
 val min_value : t -> float

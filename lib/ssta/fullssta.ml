@@ -23,6 +23,18 @@ type t = {
   electrical : Sta.Electrical.t;
   pdfs : Numerics.Discrete_pdf.t array; (* arrival pdf per node *)
   moments : Numerics.Clark.moments array; (* point values stored per node *)
+  (* Live-annotation support for [update]: which electrical arc row and
+     drive strength each node's pdfs were last derived from (physical row
+     pointers — Electrical.update keeps rows intact exactly when their
+     values survived), the per-arc resampled arrival pdfs so clean arcs
+     are never recomputed, a change bitmap + wavefront for the sweep, and
+     the memoized output RV. *)
+  last_arc : float array array;
+  last_strength : float array;
+  arc_arrivals : Numerics.Discrete_pdf.t array array;
+  changed : bool array;
+  wave : Netlist.Wavefront.t;
+  mutable out_rv : Numerics.Discrete_pdf.t option;
 }
 
 (* Normal pdf of one fanin arc's delay under the variation model. *)
@@ -34,6 +46,18 @@ let arc_pdf config circuit electrical id k =
   let sigma = Variation.Model.sigma config.model ~delay ~strength in
   Numerics.Discrete_pdf.of_normal ~samples:config.samples ~mean:delay ~sigma ()
 
+(* Resampled arrival pdf through one fanin arc: fanin arrival + arc delay. *)
+let arc_arrival config circuit electrical pdfs id k fi =
+  let arc = arc_pdf config circuit electrical id k in
+  Numerics.Discrete_pdf.resample
+    (Numerics.Discrete_pdf.sum pdfs.(fi) arc)
+    ~samples:config.samples
+
+let node_strength circuit id =
+  match Netlist.Circuit.cell circuit id with
+  | None -> 0.0
+  | Some cell -> Cells.Cell.strength cell
+
 let run ?(config = default_config) circuit =
   if config.samples < 2 then invalid_arg "Fullssta.run: samples < 2";
   let electrical = Sta.Electrical.compute ~config:config.electrical circuit in
@@ -42,44 +66,176 @@ let run ?(config = default_config) circuit =
     Array.make n
       (Numerics.Discrete_pdf.constant config.electrical.Sta.Electrical.input_arrival)
   in
+  let arc_arrivals = Array.make n [||] in
   List.iter
     (fun id ->
       let fanins = Netlist.Circuit.fanins circuit id in
       if Array.length fanins > 0 then begin
-        let arrivals_per_arc =
-          Array.to_list
-            (Array.mapi
-               (fun k fi ->
-                 let arc = arc_pdf config circuit electrical id k in
-                 Numerics.Discrete_pdf.resample
-                   (Numerics.Discrete_pdf.sum pdfs.(fi) arc)
-                   ~samples:config.samples)
-               fanins)
+        let arrivals =
+          Array.mapi
+            (fun k fi -> arc_arrival config circuit electrical pdfs id k fi)
+            fanins
         in
+        arc_arrivals.(id) <- arrivals;
         pdfs.(id) <-
           Numerics.Discrete_pdf.resample
-            (Numerics.Discrete_pdf.max_list arrivals_per_arc)
+            (Numerics.Discrete_pdf.max_list (Array.to_list arrivals))
             ~samples:config.samples
       end)
     (Netlist.Circuit.topological circuit);
   let moments = Array.map Numerics.Discrete_pdf.to_moments pdfs in
-  { circuit; config; electrical; pdfs; moments }
+  {
+    circuit;
+    config;
+    electrical;
+    pdfs;
+    moments;
+    last_arc = Array.init n (fun id -> Sta.Electrical.arc_delays electrical id);
+    last_strength = Array.init n (fun id -> node_strength circuit id);
+    arc_arrivals;
+    changed = Array.make n false;
+    wave = Netlist.Wavefront.create n;
+    out_rv = None;
+  }
 
 let pdf t id = t.pdfs.(id)
 let moments t id = t.moments.(id)
 let electrical t = t.electrical
 
 (* The circuit-level random variable RV_O of §2.1: the statistical max over
-   every primary output's arrival. *)
+   every primary output's arrival. Memoized; [update] drops the memo when a
+   primary output's arrival pdf moves. *)
 let output_rv t =
-  match Netlist.Circuit.outputs t.circuit with
-  | [] -> invalid_arg "Fullssta.output_rv: no outputs"
-  | outs ->
-      Numerics.Discrete_pdf.resample
-        (Numerics.Discrete_pdf.max_list (List.map (fun o -> t.pdfs.(o)) outs))
-        ~samples:t.config.samples
+  match t.out_rv with
+  | Some rv -> rv
+  | None -> (
+      match Netlist.Circuit.outputs t.circuit with
+      | [] -> invalid_arg "Fullssta.output_rv: no outputs"
+      | outs ->
+          let rv =
+            Numerics.Discrete_pdf.resample
+              (Numerics.Discrete_pdf.max_list
+                 (List.map (fun o -> t.pdfs.(o)) outs))
+              ~samples:t.config.samples
+          in
+          t.out_rv <- Some rv;
+          rv)
 
 let output_moments t = Numerics.Discrete_pdf.to_moments (output_rv t)
+
+exception Divergence of Diag.t
+
+(* Paranoid oracle: rebuild the annotation from scratch and insist the
+   incremental state matches. With no decay budget the match must be
+   bit-level; with one, stopped nodes may each carry up to [decay_tol] of
+   moment error and errors compound along paths, so the bound is the budget
+   times the (over-approximated by node count) path depth. *)
+let check_against_scratch t ~decay_tol =
+  let fresh = run ~config:t.config t.circuit in
+  let n = Netlist.Circuit.size t.circuit in
+  let slack = decay_tol *. float_of_int n in
+  for id = 0 to n - 1 do
+    let ok =
+      if decay_tol = 0.0 then
+        Numerics.Discrete_pdf.equal t.pdfs.(id) fresh.pdfs.(id)
+      else
+        let m = t.moments.(id) and m' = fresh.moments.(id) in
+        Float.abs (m.Numerics.Clark.mean -. m'.Numerics.Clark.mean)
+        +. Float.abs (Numerics.Clark.sigma m -. Numerics.Clark.sigma m')
+        <= slack
+    in
+    if not ok then
+      raise
+        (Divergence
+           (Diag.errorf ~code:"STAT005"
+              ~loc:(Diag.Net (Netlist.Circuit.node_name t.circuit id))
+              "incremental arrival (μ=%.9g σ=%.9g) diverged from scratch \
+               (μ=%.9g σ=%.9g)"
+              t.moments.(id).Numerics.Clark.mean
+              (Numerics.Clark.sigma t.moments.(id))
+              fresh.moments.(id).Numerics.Clark.mean
+              (Numerics.Clark.sigma fresh.moments.(id))))
+  done
+
+(* Re-propagate only what a resize actually perturbed. Arc dirtiness is
+   found by scanning for replaced electrical arc rows (Electrical.update
+   keeps a row's physical identity exactly when its values survived, and
+   always replaces rows of resized gates) plus drive-strength deltas, so the
+   scan is sound no matter who refreshed the electrical state — including a
+   full [recompute_all], which simply marks everything dirty. Dirty nodes
+   drain through the wavefront in topological order; a node whose recomputed
+   pdf is bit-identical (or, with [decay_tol] > 0, whose moments moved less
+   than the budget) keeps its stored pdf and stops the sweep there. Per-arc
+   resampled arrivals are cached so a multi-fanin node only recomputes the
+   arcs that are actually dirty. *)
+let update ?(paranoid = false) ?(decay_tol = 0.0) ?(refresh_electrical = true)
+    t ~resized =
+  if refresh_electrical then
+    ignore (Sta.Electrical.update t.electrical t.circuit ~resized);
+  let n = Netlist.Circuit.size t.circuit in
+  Array.fill t.changed 0 n false;
+  Netlist.Wavefront.clear t.wave;
+  for id = 0 to n - 1 do
+    if
+      Sta.Electrical.arc_delays t.electrical id != t.last_arc.(id)
+      || node_strength t.circuit id <> t.last_strength.(id)
+    then Netlist.Wavefront.push t.wave id
+  done;
+  let dirty = ref [] in
+  let quit = ref false in
+  while not !quit do
+    let id = Netlist.Wavefront.pop t.wave in
+    if id < 0 then quit := true
+    else
+      let fanins = Netlist.Circuit.fanins t.circuit id in
+      if Array.length fanins > 0 then begin
+        let row = Sta.Electrical.arc_delays t.electrical id in
+        let strength = node_strength t.circuit id in
+        let row_dirty =
+          row != t.last_arc.(id) || strength <> t.last_strength.(id)
+        in
+        let arrivals = t.arc_arrivals.(id) in
+        Array.iteri
+          (fun k fi ->
+            if row_dirty || t.changed.(fi) then
+              arrivals.(k) <-
+                arc_arrival t.config t.circuit t.electrical t.pdfs id k fi)
+          fanins;
+        t.last_arc.(id) <- row;
+        t.last_strength.(id) <- strength;
+        let pdf' =
+          Numerics.Discrete_pdf.resample
+            (Numerics.Discrete_pdf.max_list (Array.to_list arrivals))
+            ~samples:t.config.samples
+        in
+        let keep =
+          Numerics.Discrete_pdf.equal pdf' t.pdfs.(id)
+          || decay_tol > 0.0
+             &&
+             let m' = Numerics.Discrete_pdf.to_moments pdf' in
+             let m = t.moments.(id) in
+             Float.abs (m'.Numerics.Clark.mean -. m.Numerics.Clark.mean)
+             +. Float.abs (Numerics.Clark.sigma m' -. Numerics.Clark.sigma m)
+             <= decay_tol
+        in
+        if not keep then begin
+          t.pdfs.(id) <- pdf';
+          t.moments.(id) <- Numerics.Discrete_pdf.to_moments pdf';
+          t.changed.(id) <- true;
+          dirty := id :: !dirty;
+          Netlist.Circuit.iter_fanouts t.circuit id ~f:(fun fo ->
+              Netlist.Wavefront.push t.wave fo)
+        end
+      end
+  done;
+  (match t.out_rv with
+  | Some _
+    when List.exists (fun o -> t.changed.(o)) (Netlist.Circuit.outputs t.circuit)
+    ->
+      t.out_rv <- None
+  | _ -> ());
+  if paranoid then check_against_scratch t ~decay_tol;
+  !dirty
 
 (* sigma/mean of RV_O — Table 1's headline metric. *)
 let sigma_over_mean t =

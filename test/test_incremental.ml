@@ -1,0 +1,189 @@
+(* Incremental-engine equivalence: the dirty-cone electrical refresh and the
+   live FULLSSTA annotation must be indistinguishable from scratch
+   recomputation on ANY well-formed netlist under ANY resize sequence — the
+   exact stops make that a bit-level claim, and paranoid mode must actually
+   catch a state that violates it. *)
+
+open Test_util
+
+(* A seeded random circuit plus the seed, so each property derives its own
+   deterministic resize sequence from it. *)
+let gen_case =
+  QCheck.map
+    (fun (seed, gates, depth) ->
+      ( Benchgen.Random_dag.generate ~lib
+          {
+            Benchgen.Random_dag.profile_name = Printf.sprintf "incr%d" seed;
+            inputs = 6;
+            outputs = 4;
+            gates = 20 + gates;
+            depth = 3 + depth;
+            seed;
+          },
+        seed ))
+    QCheck.(triple small_int (int_bound 60) (int_bound 6))
+
+(* One random resize step: swap up to [moves] random gates to a different
+   available size of the same function. Returns the gates actually moved. *)
+let random_resizes rng circuit ~moves =
+  let gates = Array.of_list (Netlist.Circuit.gates circuit) in
+  List.init moves (fun _ -> gates.(Random.State.int rng (Array.length gates)))
+  |> List.sort_uniq compare
+  |> List.filter_map (fun g ->
+         let current = Netlist.Circuit.cell_exn circuit g in
+         let sizes =
+           Array.to_list (Cells.Library.sizes_of_fn lib (Cells.Cell.fn current))
+         in
+         match
+           List.filter (fun c -> not (Cells.Cell.equal c current)) sizes
+         with
+         | [] -> None
+         | alts ->
+             let cell =
+               List.nth alts (Random.State.int rng (List.length alts))
+             in
+             Netlist.Circuit.set_cell circuit g cell;
+             Some g)
+
+let prop_electrical_update_matches_compute =
+  qcheck ~count:30 "Electrical.update ≡ compute under random resizes" gen_case
+    (fun (c, seed) ->
+      let rng = Random.State.make [| seed; 0xe1ec |] in
+      let e = Sta.Electrical.compute c in
+      let ok = ref true in
+      for _step = 1 to 4 do
+        let resized = random_resizes rng c ~moves:(1 + Random.State.int rng 3) in
+        ignore (Sta.Electrical.update e c ~resized);
+        let fresh = Sta.Electrical.compute c in
+        for id = 0 to Netlist.Circuit.size c - 1 do
+          (* bit-level: the update's slew_tol = 0.0 stop is exact *)
+          if
+            e.Sta.Electrical.load.(id) <> fresh.Sta.Electrical.load.(id)
+            || e.Sta.Electrical.slew.(id) <> fresh.Sta.Electrical.slew.(id)
+            || e.Sta.Electrical.arc_delay.(id)
+               <> fresh.Sta.Electrical.arc_delay.(id)
+          then ok := false
+        done
+      done;
+      !ok)
+
+let pdf_points_close a b =
+  let pa = Numerics.Discrete_pdf.points a
+  and pb = Numerics.Discrete_pdf.points b in
+  List.length pa = List.length pb
+  && List.for_all2
+       (fun (x, p) (x', p') ->
+         Float.abs (x -. x') <= 1e-9 && Float.abs (p -. p') <= 1e-9)
+       pa pb
+
+let prop_fullssta_update_matches_run =
+  qcheck ~count:15 "Fullssta.update ≡ run under random resizes" gen_case
+    (fun (c, seed) ->
+      let rng = Random.State.make [| seed; 0xf011 |] in
+      let full = Ssta.Fullssta.run c in
+      let ok = ref true in
+      for _step = 1 to 3 do
+        let resized = random_resizes rng c ~moves:(1 + Random.State.int rng 3) in
+        ignore (Ssta.Fullssta.update full ~resized);
+        let fresh = Ssta.Fullssta.run c in
+        List.iter
+          (fun id ->
+            let m = Ssta.Fullssta.moments full id
+            and m' = Ssta.Fullssta.moments fresh id in
+            if
+              not
+                (m.Numerics.Clark.mean = m'.Numerics.Clark.mean
+                && m.Numerics.Clark.var = m'.Numerics.Clark.var)
+            then ok := false;
+            if
+              not
+                (pdf_points_close (Ssta.Fullssta.pdf full id)
+                   (Ssta.Fullssta.pdf fresh id))
+            then ok := false)
+          (Netlist.Circuit.topological c)
+      done;
+      !ok)
+
+(* Divergence injection: an honest update passes the paranoid cross-check; a
+   lying dirty set (the gate changed but [resized] omits it, so the shared
+   electrical state goes stale) must raise the STAT005 diagnostic. *)
+let alt_size circuit g =
+  let current = Netlist.Circuit.cell_exn circuit g in
+  let sizes = Cells.Library.sizes_of_fn lib (Cells.Cell.fn current) in
+  match
+    List.filter
+      (fun c -> not (Cells.Cell.equal c current))
+      (Array.to_list sizes)
+  with
+  | alt :: _ -> alt
+  | [] -> Alcotest.fail "library has a single size for a tiny-circuit gate"
+
+let test_paranoid_divergence_fires () =
+  let c = tiny_circuit () in
+  let full = Ssta.Fullssta.run c in
+  let g1, g2 =
+    match Netlist.Circuit.gates c with
+    | g1 :: g2 :: _ -> (g1, g2)
+    | _ -> Alcotest.fail "tiny circuit lost its gates"
+  in
+  Netlist.Circuit.set_cell c g1 (alt_size c g1);
+  ignore (Ssta.Fullssta.update ~paranoid:true full ~resized:[ g1 ]);
+  Netlist.Circuit.set_cell c g2 (alt_size c g2);
+  try
+    ignore (Ssta.Fullssta.update ~paranoid:true full ~resized:[]);
+    Alcotest.fail "paranoid mode accepted a stale electrical state"
+  with Ssta.Fullssta.Divergence d ->
+    Alcotest.(check string) "diagnostic code" "STAT005" d.Diag.code
+
+(* The acceptance property in miniature: both sizer engines walk the same
+   trajectory, so the final cell assignment and moments agree bit-for-bit. *)
+let test_sizer_incremental_bitexact () =
+  let run incremental =
+    let c = Benchgen.Iscas_like.build_exn ~lib "alu2" in
+    let _ = Core.Initial_sizing.apply ~lib c in
+    let config = { Core.Sizer.default_config with Core.Sizer.incremental } in
+    let r = Core.Sizer.optimize ~config ~lib c in
+    ( List.map
+        (fun g -> Cells.Cell.name (Netlist.Circuit.cell_exn c g))
+        (Netlist.Circuit.gates c),
+      r.Core.Sizer.final_moments )
+  in
+  let cells_s, m_s = run false in
+  let cells_i, m_i = run true in
+  check_true "final sizings identical" (cells_s = cells_i);
+  check_true "final moments bit-equal"
+    (m_s.Numerics.Clark.mean = m_i.Numerics.Clark.mean
+    && m_s.Numerics.Clark.var = m_i.Numerics.Clark.var)
+
+(* Paranoid mode across a whole sizing run: every per-iteration update is
+   cross-checked against a scratch rebuild and none may diverge. *)
+let test_sizer_paranoid_run_clean () =
+  let c = Benchgen.Iscas_like.build_exn ~lib "alu1" in
+  let _ = Core.Initial_sizing.apply ~lib c in
+  let config =
+    { Core.Sizer.default_config with Core.Sizer.incremental = true; paranoid = true }
+  in
+  let r = Core.Sizer.optimize ~config ~lib c in
+  check_true "run completed" (r.Core.Sizer.total_resizes >= 0)
+
+let () =
+  Alcotest.run "incremental"
+    [
+      ( "equivalence",
+        [
+          prop_electrical_update_matches_compute;
+          prop_fullssta_update_matches_run;
+        ] );
+      ( "paranoid",
+        [
+          Alcotest.test_case "divergence injection raises STAT005" `Quick
+            test_paranoid_divergence_fires;
+          Alcotest.test_case "paranoid sizing run stays clean" `Slow
+            test_sizer_paranoid_run_clean;
+        ] );
+      ( "sizer",
+        [
+          Alcotest.test_case "scratch and incremental sizers agree bit-exactly"
+            `Quick test_sizer_incremental_bitexact;
+        ] );
+    ]

@@ -190,6 +190,33 @@ let triggers : (string * (unit -> Diag.t list)) list =
       fun () ->
         Lint.Stat_rules.check_model
           (Variation.Model.create ~systematic:0.0 ~random_floor:0.0 ()) );
+    ( "STAT005",
+      fun () ->
+        (* resize a gate behind the incremental engine's back: paranoid mode
+           must catch the stale annotation against the scratch oracle *)
+        let c = tiny_circuit () in
+        let full = Ssta.Fullssta.run c in
+        let diverged = ref [] in
+        List.iter
+          (fun g ->
+            if !diverged = [] then
+              let cur = Netlist.Circuit.cell_exn c g in
+              Array.iter
+                (fun cell ->
+                  if
+                    !diverged = []
+                    && Cells.Cell.name cell <> Cells.Cell.name cur
+                  then begin
+                    Netlist.Circuit.set_cell c g cell;
+                    match
+                      Ssta.Fullssta.update ~paranoid:true full ~resized:[]
+                    with
+                    | exception Ssta.Fullssta.Divergence d -> diverged := [ d ]
+                    | _ -> Netlist.Circuit.set_cell c g cur
+                  end)
+                (Cells.Library.sizes_of_fn lib (Cells.Cell.fn cur)))
+          (Netlist.Circuit.gates c);
+        !diverged );
     ("BENCH001", fun () -> Netlist.Bench_io.lint bench_syntax);
     ("BENCH002", fun () -> Netlist.Bench_io.lint bench_gate);
     (* ABS rules: statcheck runs over the tiny circuit cross-checked against
