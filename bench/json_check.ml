@@ -1,142 +1,128 @@
-(* Minimal JSON validator for the bench emitters (the toolchain carries no
-   JSON package, and the emitters are hand-rolled — this guards them from
-   rotting into almost-JSON). Strict on structure, lenient on nothing:
-   RFC 8259 grammar minus \u surrogate-pair pairing checks. *)
+(* Validator + counter-regression gate for the bench JSON emitters (the
+   toolchain carries no JSON package; parsing comes from Obs.Json).
 
-exception Bad of string * int
+   Plain mode — `json_check FILE...` — validates each file parses as JSON,
+   guarding the hand-rolled emitters from rotting into almost-JSON.
 
-let check (s : string) =
-  let n = String.length s in
-  let pos = ref 0 in
-  let fail msg = raise (Bad (msg, !pos)) in
-  let peek () = if !pos < n then Some s.[!pos] else None in
-  let advance () = incr pos in
-  let skip_ws () =
-    while
-      !pos < n
-      && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
-    do
-      advance ()
-    done
+   Gate mode — `json_check --gate CURRENT BASELINE` — diffs the statobs
+   counter block of a fresh BENCH_counters.json against the committed
+   baseline: counters must match EXACTLY in both directions (an operation-
+   count change means an algorithmic change and must be acknowledged by
+   refreshing the baseline), while the timings block is compared
+   schema-only (wall-clock is machine noise; its shape is not). *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let body = really_input_string ic len in
+  close_in ic;
+  body
+
+let validate path =
+  match Obs.Json.parse_result (read_file path) with
+  | Ok _ ->
+      Printf.printf "%s: valid JSON (%d bytes)\n" path
+        (String.length (read_file path));
+      true
+  | Error (msg, at) ->
+      Printf.eprintf "%s: INVALID JSON at byte %d: %s\n" path at msg;
+      false
+  | exception Sys_error e ->
+      Printf.eprintf "%s: %s\n" path e;
+      false
+
+(* ---- gate mode ----------------------------------------------------------- *)
+
+let refresh_recipe =
+  "refresh: dune exec bench/main.exe -- counters --json && cp \
+   BENCH_counters.json bench/baselines/counters.json"
+
+let counters_of path json =
+  match Obs.Json.member "counters" json with
+  | Some (Obs.Json.Obj kvs) ->
+      List.map
+        (fun (k, v) ->
+          match v with
+          | Obs.Json.Num f -> (k, int_of_float f)
+          | _ ->
+              Printf.eprintf "%s: counter %s is not a number\n" path k;
+              exit 1)
+        kvs
+  | _ ->
+      Printf.eprintf "%s: no \"counters\" object\n" path;
+      exit 1
+
+(* Structural comparison for the advisory blocks: same kinds, same object
+   keys, recursively; array elements lenient (lengths and values may move
+   run-to-run — e.g. which spans fired — as long as each side is a list). *)
+let rec same_shape (a : Obs.Json.t) (b : Obs.Json.t) =
+  match (a, b) with
+  | Obs.Json.Obj xs, Obs.Json.Obj ys ->
+      let keys l = List.map fst l |> List.sort String.compare in
+      keys xs = keys ys
+      && List.for_all
+           (fun (k, v) -> same_shape v (List.assoc k ys))
+           xs
+  | Obs.Json.Arr _, Obs.Json.Arr _ -> true
+  | Obs.Json.Num _, Obs.Json.Num _ -> true
+  | Obs.Json.Str _, Obs.Json.Str _ -> true
+  | Obs.Json.Bool _, Obs.Json.Bool _ -> true
+  | Obs.Json.Null, Obs.Json.Null -> true
+  | _ -> false
+
+let gate current_path baseline_path =
+  let parse path =
+    match Obs.Json.parse_result (read_file path) with
+    | Ok v -> v
+    | Error (msg, at) ->
+        Printf.eprintf "%s: INVALID JSON at byte %d: %s\n" path at msg;
+        exit 1
   in
-  let expect c =
-    match peek () with
-    | Some c' when c' = c -> advance ()
-    | _ -> fail (Printf.sprintf "expected %c" c)
-  in
-  let literal word =
-    String.iter expect word
-  in
-  let string_body () =
-    expect '"';
-    let fin = ref false in
-    while not !fin do
-      match peek () with
-      | None -> fail "unterminated string"
-      | Some '"' -> advance (); fin := true
-      | Some '\\' -> (
-          advance ();
-          match peek () with
-          | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') -> advance ()
-          | Some 'u' ->
-              advance ();
-              for _ = 1 to 4 do
-                match peek () with
-                | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
-                | _ -> fail "bad \\u escape"
-              done
-          | _ -> fail "bad escape")
-      | Some c when Char.code c < 0x20 -> fail "raw control char in string"
-      | Some _ -> advance ()
-    done
-  in
-  let digits () =
-    match peek () with
-    | Some ('0' .. '9') ->
-        while match peek () with Some ('0' .. '9') -> true | _ -> false do
-          advance ()
-        done
-    | _ -> fail "expected digit"
-  in
-  let number () =
-    if peek () = Some '-' then advance ();
-    (match peek () with
-    | Some '0' -> advance ()
-    | Some ('1' .. '9') -> digits ()
-    | _ -> fail "bad number");
-    if peek () = Some '.' then (advance (); digits ());
-    match peek () with
-    | Some ('e' | 'E') ->
-        advance ();
-        (match peek () with Some ('+' | '-') -> advance () | _ -> ());
-        digits ()
-    | _ -> ()
-  in
-  let rec value () =
-    skip_ws ();
-    (match peek () with
-    | Some '{' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some '}' then advance ()
-        else
-          let members = ref true in
-          while !members do
-            skip_ws ();
-            string_body ();
-            skip_ws ();
-            expect ':';
-            value ();
-            skip_ws ();
-            match peek () with
-            | Some ',' -> advance ()
-            | Some '}' -> advance (); members := false
-            | _ -> fail "expected , or } in object"
-          done
-    | Some '[' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some ']' then advance ()
-        else
-          let items = ref true in
-          while !items do
-            value ();
-            skip_ws ();
-            match peek () with
-            | Some ',' -> advance ()
-            | Some ']' -> advance (); items := false
-            | _ -> fail "expected , or ] in array"
-          done
-    | Some '"' -> string_body ()
-    | Some 't' -> literal "true"
-    | Some 'f' -> literal "false"
-    | Some 'n' -> literal "null"
-    | Some ('-' | '0' .. '9') -> number ()
-    | _ -> fail "expected a JSON value");
-    skip_ws ()
-  in
-  value ();
-  if !pos <> n then fail "trailing garbage after document"
+  let current = parse current_path and baseline = parse baseline_path in
+  let cur = counters_of current_path current
+  and base = counters_of baseline_path baseline in
+  let complaints = ref [] in
+  let complain fmt = Printf.ksprintf (fun s -> complaints := s :: !complaints) fmt in
+  List.iter
+    (fun (k, bv) ->
+      match List.assoc_opt k cur with
+      | None -> complain "counter %s: in baseline (%d) but missing from current" k bv
+      | Some cv when cv <> bv -> complain "counter %s: baseline %d, current %d" k bv cv
+      | Some _ -> ())
+    base;
+  List.iter
+    (fun (k, cv) ->
+      if not (List.mem_assoc k base) then
+        complain "counter %s: new in current (%d), absent from baseline" k cv)
+    cur;
+  (match (Obs.Json.member "timings" current, Obs.Json.member "timings" baseline) with
+  | Some tc, Some tb ->
+      if not (same_shape tc tb) then
+        complain "timings block: schema diverged from baseline"
+  | None, Some _ -> complain "timings block: missing from current"
+  | Some _, None -> complain "timings block: missing from baseline"
+  | None, None -> ());
+  match List.rev !complaints with
+  | [] ->
+      Printf.printf "counter gate: %s matches %s (%d counters exact)\n"
+        current_path baseline_path (List.length base)
+  | cs ->
+      Printf.eprintf "counter regression: %s diverged from %s\n" current_path
+        baseline_path;
+      List.iter (fun c -> Printf.eprintf "  %s\n" c) cs;
+      Printf.eprintf
+        "counters are deterministic per machine+toolchain; if the change is \
+         intentional,\n%s\n"
+        refresh_recipe;
+      exit 1
 
 let () =
-  let bad = ref false in
-  Array.iteri
-    (fun i path ->
-      if i > 0 then
-        match
-          let ic = open_in_bin path in
-          let len = in_channel_length ic in
-          let body = really_input_string ic len in
-          close_in ic;
-          check body;
-          len
-        with
-        | len -> Printf.printf "%s: valid JSON (%d bytes)\n" path len
-        | exception Bad (msg, at) ->
-            bad := true;
-            Printf.eprintf "%s: INVALID JSON at byte %d: %s\n" path at msg
-        | exception Sys_error e ->
-            bad := true;
-            Printf.eprintf "%s: %s\n" path e)
-    Sys.argv;
-  if !bad then exit 1
+  match Array.to_list Sys.argv with
+  | _ :: "--gate" :: [ current; baseline ] -> gate current baseline
+  | _ :: "--gate" :: _ ->
+      Printf.eprintf "usage: json_check --gate CURRENT BASELINE\n";
+      exit 2
+  | _ :: files ->
+      if not (List.fold_left (fun ok f -> validate f && ok) true files) then
+        exit 1
+  | [] -> ()

@@ -390,6 +390,65 @@ let run_incremental () =
                   rows) );
          ])
 
+(* ---- statobs counters ---------------------------------------------------- *)
+
+(* A FIXED workload regardless of --smoke/--quick: the emitted counter block
+   is diffed bit-for-bit against bench/baselines/counters.json by the CI
+   counter gate, so the work must be identical no matter which harness
+   flags ride along. Wall-clock and span timings are emitted too but gated
+   schema-only — they are machine-dependent; the operation counts are not. *)
+let run_counters () =
+  heading "statobs — deterministic operation counters (CI-gated)";
+  Obs.Sink.reset ();
+  Obs.Sink.enable ();
+  let t0 = Unix.gettimeofday () in
+  Obs.Span.with_ "bench.counters.analyze_c432" (fun () ->
+      let c = Benchgen.Iscas_like.build_exn ~lib "c432" in
+      let _ = Core.Initial_sizing.apply ~lib c in
+      let full = Ssta.Fullssta.run c in
+      ignore (Ssta.Fullssta.output_moments full);
+      let stats = Ssta.Fassta.make_stats () in
+      let moments = Ssta.Fassta.run ~stats c in
+      ignore (Ssta.Fassta.output_moments c moments));
+  Obs.Span.with_ "bench.counters.optimize_alu1" (fun () ->
+      let c = Benchgen.Iscas_like.build_exn ~lib "alu1" in
+      let _ = Core.Initial_sizing.apply ~lib c in
+      let config = { Core.Sizer.default_config with max_iterations = 2 } in
+      ignore (Core.Sizer.optimize ~config ~lib c));
+  let wall_s = Unix.gettimeofday () -. t0 in
+  Obs.Sink.disable ();
+  let counters = Obs.Counters.dump () in
+  List.iter (fun (name, v) -> Fmt.pr "  %-28s %12d@." name v) counters;
+  Fmt.pr "  (%.2fs)@." wall_s;
+  if json then
+    write_json "BENCH_counters.json"
+      (Jobj
+         [
+           ("section", Jstr "counters");
+           ("schema", Jstr "statobs/1");
+           ( "workload",
+             Jlist [ Jstr "analyze c432 (fullssta+fassta)"; Jstr "optimize alu1 (2 iterations)" ] );
+           ("counters", Jobj (List.map (fun (k, v) -> (k, Jint v)) counters));
+           ( "timings",
+             Jobj
+               [
+                 ("wall_s", Jnum wall_s);
+                 ( "spans",
+                   Jlist
+                     (List.map
+                        (fun (name, count, total_us, max_us) ->
+                          Jobj
+                            [
+                              ("name", Jstr name);
+                              ("count", Jint count);
+                              ("total_us", Jnum total_us);
+                              ("max_us", Jnum max_us);
+                            ])
+                        (Obs.Span.summaries ())) );
+               ] );
+         ]);
+  Obs.Sink.reset ()
+
 let () =
   Fmt.pr "statsize paper-reproduction bench%s@."
     (if quick then " (--quick)" else "");
@@ -401,4 +460,5 @@ let () =
   if wants "ablation" then run_ablation ();
   if wants "micro" then run_micro ();
   if wants "incremental" then run_incremental ();
+  if wants "counters" then run_counters ();
   Fmt.pr "@.done.@."

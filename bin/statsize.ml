@@ -619,10 +619,73 @@ let check_cmd =
 
 let main =
   let doc = "statistical gate sizing for process-variation tolerance" in
-  Cmd.group (Cmd.info "statsize" ~doc)
+  Cmd.group
+    (Cmd.info "statsize" ~doc
+       ~man:
+         [
+           `S Manpage.s_common_options;
+           `P
+             "$(b,--metrics) $(i,FILE) and $(b,--trace) $(i,FILE) may be \
+              placed anywhere on the command line (they are stripped before \
+              subcommand parsing). They enable the statobs observability \
+              layer for the whole invocation and, on exit, write a flat \
+              metrics JSON (deterministic operation counters plus span \
+              summaries) or a Chrome trace_event JSON loadable at \
+              chrome://tracing, respectively.";
+         ])
     [ list_cmd; info_cmd; lint_cmd; check_cmd; analyze_cmd; optimize_cmd; paths_cmd; slack_cmd;
       pca_cmd; rank_cmd; dot_cmd; table1_cmd; fig1_cmd; fig3_cmd; fig4_cmd;
       approx_cmd; ablation_cmd; export_cmd; verilog_cmd; sdf_cmd; power_cmd;
       liberty_cmd ]
 
-let () = exit (Cmd.eval main)
+(* cmdliner's group parser cannot accept options placed before the
+   subcommand name, so the observability flags are stripped from argv by
+   hand and the exports hang off [at_exit] — several subcommands (lint,
+   check) terminate through [exit] deep inside their run functions, and
+   at_exit is the only hook that sees every path out. *)
+let obs_argv () =
+  let metrics = ref None and trace = ref None in
+  let die msg =
+    Fmt.epr "statsize: %s@." msg;
+    exit 2
+  in
+  let rec strip acc = function
+    | [] -> List.rev acc
+    | [ "--metrics" ] -> die "--metrics needs a FILE argument"
+    | [ "--trace" ] -> die "--trace needs a FILE argument"
+    | "--metrics" :: path :: rest ->
+        metrics := Some path;
+        strip acc rest
+    | "--trace" :: path :: rest ->
+        trace := Some path;
+        strip acc rest
+    | a :: rest when String.starts_with ~prefix:"--metrics=" a ->
+        metrics := Some (String.sub a 10 (String.length a - 10));
+        strip acc rest
+    | a :: rest when String.starts_with ~prefix:"--trace=" a ->
+        trace := Some (String.sub a 8 (String.length a - 8));
+        strip acc rest
+    | a :: rest -> strip (a :: acc) rest
+  in
+  let argv = Array.of_list (strip [] (Array.to_list Sys.argv)) in
+  (argv, !metrics, !trace)
+
+let () =
+  let argv, metrics, trace = obs_argv () in
+  if metrics <> None || trace <> None then begin
+    Obs.Sink.reset ();
+    Obs.Sink.enable ();
+    at_exit (fun () ->
+        Obs.Sink.disable ();
+        Option.iter
+          (fun path ->
+            Obs.Sink.write_metrics ~path;
+            Fmt.epr "statsize: wrote metrics %s@." path)
+          metrics;
+        Option.iter
+          (fun path ->
+            Obs.Sink.write_trace ~path;
+            Fmt.epr "statsize: wrote trace %s@." path)
+          trace)
+  end;
+  exit (Cmd.eval ~argv main)

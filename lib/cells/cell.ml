@@ -22,8 +22,18 @@ let strength t = t.strength
 let area t = t.area
 let input_cap t = t.input_cap
 
-let delay t ~slew ~load = Numerics.Lut.query t.delay ~row:slew ~col:load
-let slew t ~slew ~load = Numerics.Lut.query t.output_slew ~row:slew ~col:load
+(* statobs: every timing-model lookup funnels through these two wrappers,
+   so the pair of counters is the total LUT traffic of a run. *)
+let c_delay_queries = Obs.Counters.make "lut.delay_queries"
+let c_slew_queries = Obs.Counters.make "lut.slew_queries"
+
+let delay t ~slew ~load =
+  Obs.Counters.bump c_delay_queries;
+  Numerics.Lut.query t.delay ~row:slew ~col:load
+
+let slew t ~slew ~load =
+  Obs.Counters.bump c_slew_queries;
+  Numerics.Lut.query t.output_slew ~row:slew ~col:load
 
 let equal a b = String.equal a.name b.name
 

@@ -20,6 +20,14 @@ let log_src = Logs.Src.create "statsize.sizer" ~doc:"StatisticalGreedy sizing"
 
 module Log = (val Logs.src_log log_src)
 
+(* statobs: outer-loop progress counters. Windows evaluated/skipped and
+   moves committed mirror the result record's fields but accumulate across
+   every optimize call in a run, which is what the CI counter gate diffs. *)
+let c_iterations = Obs.Counters.make "sizer.iterations"
+let c_windows_evaluated = Obs.Counters.make "sizer.windows.evaluated"
+let c_windows_skipped = Obs.Counters.make "sizer.windows.skipped"
+let c_moves_committed = Obs.Counters.make "sizer.moves.committed"
+
 (* How path resizes are applied within one outer iteration:
    [Batch] is the paper's literal pseudocode (schedule all, resize at the
    end); [Sequential] commits each winning resize immediately and refreshes
@@ -204,6 +212,7 @@ let run_iteration config ~lib ?skip circuit full window stats_acc =
 
 let optimize ?(ignore_lint = false) ?(prune = false) ?(config = default_config)
     ~lib circuit =
+  Obs.Span.with_ "sizer.optimize" @@ fun () ->
   (* Preflight: refuse garbage inputs before the first FULLSSTA. Errors
      raise Lint.Preflight.Rejected (unless the caller opted out); warnings
      are logged and the run proceeds. *)
@@ -331,9 +340,14 @@ let optimize ?(ignore_lint = false) ?(prune = false) ?(config = default_config)
         | None -> make_window full
       in
       let schedule, path_length, evaluated, skipped =
+        Obs.Span.with_ "sizer.iteration" @@ fun () ->
         run_iteration config ~lib ?skip:(dominance_skip ()) circuit full window
           stats_acc
       in
+      Obs.Counters.bump c_iterations;
+      Obs.Counters.add c_windows_evaluated evaluated;
+      Obs.Counters.add c_windows_skipped skipped;
+      Obs.Counters.add c_moves_committed (List.length schedule);
       windows := (fst !windows + evaluated, snd !windows + skipped);
       match schedule with
       | [] -> (No_candidate, history, resizes)

@@ -20,6 +20,14 @@
    O(affected region) per trial. *)
 type mode = Windowed | Global
 
+(* statobs: trial-drain wavefront pops, per-(candidate, node) recomputes in
+   the vectorized drain, and commit-resync pops. Counts are accumulated in
+   local ints during each drain and flushed once, so the pops themselves
+   never pay for the instrumentation. *)
+let c_trial_visits = Obs.Counters.make "window.trial.visits"
+let c_cell_evals = Obs.Counters.make "window.trial.cell_evals"
+let c_commit_visits = Obs.Counters.make "window.commit.visits"
+
 type t = {
   circuit : Netlist.Circuit.t;
   model : Variation.Model.t;
@@ -427,9 +435,11 @@ let trial_cost t ~seed =
   let w = t.wavefront in
   Netlist.Wavefront.clear w;
   seed (fun id -> Netlist.Wavefront.push w id);
+  let visits = ref 0 in
   let rec drain () =
     let id = Netlist.Wavefront.pop w in
     if id >= 0 then begin
+      incr visits;
       let fresh = recompute_node t id in
       let old = t.base.(id) in
       let moved =
@@ -447,6 +457,7 @@ let trial_cost t ~seed =
     end
   in
   drain ();
+  Obs.Counters.add c_trial_visits !visits;
   rv_cost t (moments_at t)
 
 (* Incremental-engine trial scoring: semantically [trial_cost] — same
@@ -464,9 +475,11 @@ let fast_trial_cost t ~seed =
   seed (fun id -> Netlist.Wavefront.push w id);
   let acc = { am = 0.0; av = 0.0 } in
   let push_fanout fo = Netlist.Wavefront.push w fo in
+  let visits = ref 0 in
   let rec drain () =
     let id = Netlist.Wavefront.pop w in
     if id >= 0 then begin
+      incr visits;
       fast_recompute_into t acc id;
       let old = t.base.(id) in
       let moved =
@@ -485,6 +498,7 @@ let fast_trial_cost t ~seed =
     end
   in
   drain ();
+  Obs.Counters.add c_trial_visits !visits;
   if t.min_out = max_int then t.base_cost
   else begin
     let outs = t.outputs_arr in
@@ -748,9 +762,12 @@ let vec_costs t ~lib ~co_size (sub : Netlist.Cone.subcircuit) trials =
      end);
     Netlist.Wavefront.push w fo
   in
+  let visits = ref 0 in
+  let cell_evals = ref 0 in
   let rec drain () =
     let id = Netlist.Wavefront.pop w in
     if id >= 0 then begin
+      incr visits;
       let mask = if t.pend_gen.(id) = gen then t.pend.(id) else 0 in
       let fanins = Netlist.Circuit.fanins t.circuit id in
       let nf = Array.length fanins in
@@ -765,6 +782,7 @@ let vec_costs t ~lib ~co_size (sub : Netlist.Cone.subcircuit) trials =
            and fi/id are node ids covered by every length-n array *)
         for c = 0 to nc - 1 do
           if mask land (1 lsl c) <> 0 then begin
+            incr cell_evals;
             let arcs =
               if Array.unsafe_get (Array.unsafe_get t.vc_arc_gen c) id = gen
               then Array.unsafe_get (Array.unsafe_get t.vc_arc c) id
@@ -807,6 +825,8 @@ let vec_costs t ~lib ~co_size (sub : Netlist.Cone.subcircuit) trials =
     end
   in
   drain ();
+  Obs.Counters.add c_trial_visits !visits;
+  Obs.Counters.add c_cell_evals !cell_evals;
   let outs = t.outputs_arr in
   let costs =
     Array.init nc (fun c ->
@@ -923,9 +943,11 @@ let commit_incremental t ~resized =
   let acc = { am = 0.0; av = 0.0 } in
   let push_fanout fo = Netlist.Wavefront.push w fo in
   let min_o = ref max_int in
+  let visits = ref 0 in
   let rec drain () =
     let id = Netlist.Wavefront.pop w in
     if id >= 0 then begin
+      incr visits;
       fast_recompute_into t acc id;
       let old = t.base.(id) in
       if
@@ -943,6 +965,7 @@ let commit_incremental t ~resized =
     end
   in
   drain ();
+  Obs.Counters.add c_commit_visits !visits;
   (* the resync wrote nothing before output index [min_o], so earlier prefix
      entries — and, when no output arrival changed at all, the committed
      cost itself — are already the values a full refold would produce (the

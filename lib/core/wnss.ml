@@ -30,8 +30,13 @@ let of_model model = config ~coupling:(Variation.Model.coupling model) ()
 
 let variance_of (m : Numerics.Clark.moments) = m.Numerics.Clark.var
 
+(* statobs: each call costs two extra Clark max evaluations, the dominant
+   expense of the §4.4 path ranking. *)
+let c_finite_diff = Obs.Counters.make "wnss.finite_diff.evals"
+
 (* ∂Var(max(A,B))/∂μA by forward finite difference, with the σ coupling. *)
 let variance_sensitivity t ~target:(a : Numerics.Clark.moments) ~other:b =
+  Obs.Counters.bump c_finite_diff;
   let h = t.h_fraction *. (Float.abs a.Numerics.Clark.mean +. 1.0) in
   let base = variance_of (Numerics.Clark.max_fast a b) in
   let sigma_a = Numerics.Clark.sigma a in

@@ -20,6 +20,7 @@ let sigma_over_mean (m : Numerics.Clark.moments) =
 
 let prepare ?(ignore_lint = false) ?(mean_config = Core.Sizer.mean_delay_config)
     ~lib build =
+  Obs.Span.with_ "pipeline.prepare" @@ fun () ->
   let started = Sys.time () in
   let circuit = build () in
   let _ = Core.Initial_sizing.apply ~lib circuit in
@@ -49,6 +50,7 @@ type stat_run = {
 
 let run_alpha ?(ignore_lint = false) ?(recover = true)
     ?(config = Core.Sizer.default_config) ~lib (baseline : baseline) ~alpha =
+  Obs.Span.with_ "pipeline.run_alpha" @@ fun () ->
   let started = Sys.time () in
   let circuit = Netlist.Circuit.copy baseline.circuit in
   let objective = Core.Objective.create ~alpha in

@@ -34,12 +34,14 @@ let run_circuit ?(alphas = default_alphas) ?sizer_config ~lib
    table — is identical to the sequential run's. [domains = 1] (the
    default) never spawns and keeps the historical fully-deterministic
    behavior, progress interleaving included; with more domains the only
-   shared mutable state is the library's LUT out-of-bound counters, whose
-   unsynchronized increments can at worst under-count LIB007 warnings. *)
+   shared mutable state is the atomic counters (the library's LUT
+   out-of-bound counts and the statobs registry), whose totals are exact
+   regardless of interleaving. *)
 let run ?(alphas = default_alphas) ?sizer_config ?(names = Benchgen.Iscas_like.names)
     ?(domains = 1) ~lib () =
   let entries = List.filter_map Benchgen.Iscas_like.find names in
   let run_entry (entry : Benchgen.Iscas_like.entry) =
+    Obs.Span.with_ ("table1." ^ entry.Benchgen.Iscas_like.name) @@ fun () ->
     Fmt.epr "[table1] %s...@." entry.Benchgen.Iscas_like.name;
     let row = run_circuit ~alphas ?sizer_config ~lib entry in
     Fmt.epr "[table1] %s done (%.1f s)@." entry.Benchgen.Iscas_like.name

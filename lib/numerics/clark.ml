@@ -30,6 +30,13 @@ let shift a d = { a with mean = a.mean +. d }
    each branch fires. *)
 type resolution = Left_dominates | Right_dominates | Blended
 
+(* statobs counters: short-circuit resolutions (rules 5/6) vs full blended
+   evaluations, plus exact-max calls — together they measure how much
+   arithmetic the paper's cutoff actually saves on a given workload. *)
+let c_max_exact = Obs.Counters.make "clark.max_exact.calls"
+let c_cutoff = Obs.Counters.make "clark.max_fast.cutoff"
+let c_blended = Obs.Counters.make "clark.max_fast.blended"
+
 let spread ?(rho = 0.0) a b =
   (* the rho = 0 hot path skips the two sigma square roots: the correlation
      term is then [0.0 *. sigma a *. sigma b] = +0.0 (sigmas are finite and
@@ -42,6 +49,7 @@ let spread ?(rho = 0.0) a b =
   Float.sqrt (Float.max v 0.0)
 
 let max_exact ?(rho = 0.0) a b =
+  Obs.Counters.bump c_max_exact;
   let sp = spread ~rho a b in
   if sp <= 0.0 then
     (* Identical (or perfectly correlated equal-sigma) operands: the max is
@@ -64,13 +72,22 @@ let cutoff = Erf.phi_saturation_point
 
 let max_fast_resolved a b =
   let sp = spread a b in
-  if sp <= 0.0 then
+  if sp <= 0.0 then begin
+    Obs.Counters.bump c_cutoff;
     if a.mean >= b.mean then (a, Left_dominates) else (b, Right_dominates)
+  end
   else
     let alpha = (a.mean -. b.mean) /. sp in
-    if alpha >= cutoff then (a, Left_dominates)
-    else if alpha <= -.cutoff then (b, Right_dominates)
-    else
+    if alpha >= cutoff then begin
+      Obs.Counters.bump c_cutoff;
+      (a, Left_dominates)
+    end
+    else if alpha <= -.cutoff then begin
+      Obs.Counters.bump c_cutoff;
+      (b, Right_dominates)
+    end
+    else begin
+      Obs.Counters.bump c_blended;
       let phi = Normal.pdf alpha in
       let cdf_pos = Normal.cdf_fast alpha in
       let cdf_neg = 1.0 -. cdf_pos in
@@ -81,6 +98,7 @@ let max_fast_resolved a b =
         +. ((a.mean +. b.mean) *. sp *. phi)
       in
       ({ mean = m1; var = Float.max (m2 -. (m1 *. m1)) 0.0 }, Blended)
+    end
 
 let max_fast a b = fst (max_fast_resolved a b)
 

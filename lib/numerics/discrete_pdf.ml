@@ -12,6 +12,17 @@ type t = { xs : float array; ps : float array }
 
 let epsilon_mass = 1e-12
 
+(* statobs counters for the pdf kernels: calls count invocations, points
+   count the work each invocation actually did (na·nb for the cross-product
+   sum, na+nb for the CDF-product max), so the ratio exposes support-size
+   growth that wall-clock alone would hide. *)
+let c_sum_calls = Obs.Counters.make "pdf.sum.calls"
+let c_sum_points = Obs.Counters.make "pdf.sum.points"
+let c_max2_calls = Obs.Counters.make "pdf.max2.calls"
+let c_max2_points = Obs.Counters.make "pdf.max2.points"
+let c_resample_calls = Obs.Counters.make "pdf.resample.calls"
+let c_of_normal_calls = Obs.Counters.make "pdf.of_normal.calls"
+
 (* Per-domain scratch buffers for the hot kernels: [sum], [resample] and
    [of_normal] run hundreds of times per SSTA pass, and their intermediates
    (cross-product points, merge temporaries, bin accumulators) would
@@ -208,6 +219,7 @@ let to_moments t = Clark.moments ~mean:(mean t) ~var:(variance t)
    masses: each support point carries the mass of its surrounding bin, so the
    discretized pdf's CDF interleaves the true CDF. *)
 let of_normal ?(span = 4.0) ~samples ~mean ~sigma () =
+  Obs.Counters.bump c_of_normal_calls;
   if samples < 1 then invalid_arg "Discrete_pdf.of_normal: samples < 1";
   if sigma <= 0.0 then constant mean
   else
@@ -264,6 +276,7 @@ let quantile t p =
    step, which compounds badly along deep paths. Resulting support is at
    most 2·samples points. *)
 let resample t ~samples =
+  Obs.Counters.bump c_resample_calls;
   if samples < 1 then invalid_arg "Discrete_pdf.resample: samples < 1";
   let n = Array.length t.xs in
   if n <= 2 * samples then t
@@ -324,6 +337,8 @@ let resample t ~samples =
 let sum a b =
   let na = Array.length a.xs and nb = Array.length b.xs in
   let n = na * nb in
+  Obs.Counters.bump c_sum_calls;
+  Obs.Counters.add c_sum_points n;
   let s = scratch_get n in
   let xs = s.s1 and ps = s.s2 in
   (* runs keep the historical outer order (descending index) so equal
@@ -399,6 +414,8 @@ let sum a b =
    instead of a full CDF scan per union point. *)
 let max2 a b =
   let na = Array.length a.xs and nb = Array.length b.xs in
+  Obs.Counters.bump c_max2_calls;
+  Obs.Counters.add c_max2_points (na + nb);
   let xs = Array.make (na + nb) 0.0 and ps = Array.make (na + nb) 0.0 in
   let m = ref 0 in
   let ia = ref 0 and ib = ref 0 in

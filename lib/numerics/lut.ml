@@ -9,8 +9,12 @@ type t = {
   rows : float array; (* first index, e.g. input slew *)
   cols : float array; (* second index, e.g. load capacitance *)
   values : float array array; (* values.(i).(j) at (rows.(i), cols.(j)) *)
-  mutable oob_queries : int; (* queries clamped to the grid edge *)
+  oob_queries : int Atomic.t; (* queries clamped to the grid edge *)
 }
+
+(* Global across all tables (per-table detail stays in [oob_count]); feeds
+   the CI-gated counter block. *)
+let c_clamp = Obs.Counters.make "lut.clamp_events"
 
 let strictly_increasing a =
   let n = Array.length a in
@@ -24,7 +28,7 @@ let create ~rows ~cols ~values =
     invalid_arg "Lut.create: axes must be strictly increasing";
   if Array.length values <> nr || Array.exists (fun r -> Array.length r <> nc) values
   then invalid_arg "Lut.create: values shape mismatch";
-  { rows; cols; values; oob_queries = 0 }
+  { rows; cols; values; oob_queries = Atomic.make 0 }
 
 let of_function ~rows ~cols f =
   let values = Array.map (fun r -> Array.map (fun c -> f r c) cols) rows in
@@ -52,8 +56,8 @@ let in_range_axis axis x = x >= axis.(0) && x <= axis.(Array.length axis - 1)
 
 let in_range t ~row ~col = in_range_axis t.rows row && in_range_axis t.cols col
 
-let oob_count t = t.oob_queries
-let reset_oob t = t.oob_queries <- 0
+let oob_count t = Atomic.get t.oob_queries
+let reset_oob t = Atomic.set t.oob_queries 0
 
 let eval t ~row ~col =
   let i, fr = locate t.rows row in
@@ -70,7 +74,10 @@ let eval t ~row ~col =
     +. (fr *. (((1.0 -. fc) *. v10) +. (fc *. v11)))
 
 let query t ~row ~col =
-  if not (in_range t ~row ~col) then t.oob_queries <- t.oob_queries + 1;
+  if not (in_range t ~row ~col) then begin
+    Atomic.incr t.oob_queries;
+    Obs.Counters.bump c_clamp
+  end;
   eval t ~row ~col
 
 (* Hull of the interpolated surface over a box of query points. The clamped
@@ -108,7 +115,7 @@ let cols t = Array.copy t.cols
 let values t = Array.map Array.copy t.values
 
 let map t ~f =
-  { t with values = Array.map (Array.map f) t.values; oob_queries = 0 }
+  { t with values = Array.map (Array.map f) t.values; oob_queries = Atomic.make 0 }
 
 let pp ppf t =
   Fmt.pf ppf "lut[%dx%d]" (Array.length t.rows) (Array.length t.cols)

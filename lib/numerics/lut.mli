@@ -28,7 +28,9 @@ val in_range : t -> row:float -> col:float -> bool
 
 val oob_count : t -> int
 (** How many {!query} calls since creation (or {!reset_oob}) were clamped —
-    the raw signal behind the lint pack's extrapolation warning. *)
+    the raw signal behind the lint pack's extrapolation warning. The
+    counter is atomic, so totals are exact even when experiment runners
+    query a shared library from several domains at once. *)
 
 val reset_oob : t -> unit
 

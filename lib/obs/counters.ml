@@ -1,0 +1,33 @@
+type t = { name : string; cell : int Atomic.t }
+
+(* The registry only grows (counters are registered at module init and live
+   for the whole process); the mutex covers registration and bulk reads so
+   [dump]/[reset_all] see a consistent list from any domain. *)
+let mu = Mutex.create ()
+let registry : t list ref = ref []
+
+let make name =
+  let c = { name; cell = Atomic.make 0 } in
+  Mutex.protect mu (fun () ->
+      if List.exists (fun e -> String.equal e.name name) !registry then
+        invalid_arg ("Obs.Counters.make: duplicate counter name " ^ name);
+      registry := c :: !registry);
+  c
+
+let name t = t.name
+
+let[@inline] bump t = if Gate.on () then Atomic.incr t.cell
+
+let[@inline] add t n =
+  if Gate.on () then ignore (Atomic.fetch_and_add t.cell n : int)
+
+let read t = Atomic.get t.cell
+
+let reset_all () =
+  Mutex.protect mu (fun () ->
+      List.iter (fun t -> Atomic.set t.cell 0) !registry)
+
+let dump () =
+  Mutex.protect mu (fun () ->
+      List.map (fun t -> (t.name, Atomic.get t.cell)) !registry)
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

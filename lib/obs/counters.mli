@@ -1,0 +1,35 @@
+(** Deterministic monotonic operation counters.
+
+    A counter counts *operations*, not seconds: for a fixed input and
+    toolchain the totals are exactly reproducible run-to-run, which is what
+    lets CI assert on them bit-for-bit while wall-clock stays advisory.
+    Cells are [Atomic.t], so totals stay exact when experiment runners fan
+    work out over stdlib domains (each domain's operations are themselves
+    deterministic, and addition commutes). *)
+
+type t
+
+val make : string -> t
+(** Register a new counter under a globally unique name; counters are
+    created once at module initialization. Raises [Invalid_argument] on a
+    duplicate name. *)
+
+val name : t -> string
+
+val bump : t -> unit
+(** [bump t] adds 1 when the {!Gate} is on; a no-op (one load + branch)
+    otherwise. *)
+
+val add : t -> int -> unit
+(** [add t n] adds [n] when the {!Gate} is on. Hot drains accumulate into a
+    local int and flush once through here, keeping the per-pop cost off the
+    disabled path entirely. *)
+
+val read : t -> int
+
+val reset_all : unit -> unit
+(** Zero every registered counter (start of a measured workload). *)
+
+val dump : unit -> (string * int) list
+(** Every registered counter with its current value, sorted by name — the
+    deterministic block CI gates on. *)

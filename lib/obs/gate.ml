@@ -1,0 +1,11 @@
+(* The single switch the whole observability layer hides behind. Every
+   instrumented call site guards on [on ()], so the disabled path costs one
+   atomic load (a plain load on x86-64/arm64) plus a predictable branch —
+   the "zero-cost-when-disabled" contract the hot kernels rely on. The flag
+   is [Atomic.t] so experiment runners fanning out over domains observe a
+   consistent value without data races. *)
+
+let flag = Atomic.make false
+
+let[@inline] on () = Atomic.get flag
+let set v = Atomic.set flag v

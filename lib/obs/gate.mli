@@ -1,0 +1,7 @@
+(** The global observability switch. Counters and spans record only while it
+    is on; the disabled path at every instrumented call site is a single
+    atomic load and branch. Flip it through {!Sink.enable} / {!Sink.disable}
+    rather than directly. *)
+
+val on : unit -> bool
+val set : bool -> unit

@@ -1,0 +1,23 @@
+(** Minimal JSON reader for the bench counter gate and observability tests.
+    Hand-rolled because the toolchain ships no JSON library. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Bad of string * int
+(** [Bad (message, byte_offset)]. *)
+
+val parse_exn : string -> t
+(** Parse a complete JSON document; raises {!Bad} on malformed input or
+    trailing garbage. *)
+
+val parse_result : string -> (t, string * int) result
+
+val member : string -> t -> t option
+(** [member k (Obj ...)] looks up key [k]; [None] on missing key or
+    non-object. *)

@@ -1,0 +1,101 @@
+type event = { name : string; enter : bool; ts_us : float; tid : int }
+
+type summary = {
+  mutable count : int;
+  mutable total_us : float;
+  mutable max_us : float;
+}
+
+(* All trace state sits behind one mutex: span begin/end is orders of
+   magnitude rarer than counter bumps (spans wrap whole SSTA runs and sizer
+   iterations, not inner-loop pops), so contention is a non-issue and the
+   lock buys us a globally ordered, monotonically clamped event stream. *)
+let mu = Mutex.create ()
+let events_rev : event list ref = ref []
+let n_events = ref 0
+let dropped_events = ref 0
+let last_ts = ref 0.0
+let t0 = ref (Unix.gettimeofday ())
+let by_name : (string, summary) Hashtbl.t = Hashtbl.create 32
+
+(* Soft cap on recorded events so a pathological run cannot eat the heap.
+   Only begin events check it — see [leave]. *)
+let max_events = 1_000_000
+
+(* Per-domain nesting depth, exposed for tests and sanity checks. *)
+let depth_key = Domain.DLS.new_key (fun () -> ref 0)
+
+let now_us () = (Unix.gettimeofday () -. !t0) *. 1e6
+
+(* Caller holds [mu]. Clamps the wall clock so the stream is non-decreasing
+   even if gettimeofday steps backwards (NTP). *)
+let record_locked name enter =
+  let raw = now_us () in
+  let ts_us = if raw > !last_ts then raw else !last_ts in
+  last_ts := ts_us;
+  let tid = (Domain.self () :> int) in
+  events_rev := { name; enter; ts_us; tid } :: !events_rev;
+  incr n_events;
+  ts_us
+
+let enter name =
+  Mutex.protect mu (fun () ->
+      if !n_events >= max_events then begin
+        incr dropped_events;
+        None
+      end
+      else Some (record_locked name true))
+
+(* An end event for a begin that made it into the buffer always records,
+   cap or not — dropping it would unbalance the trace. *)
+let leave name t_begin =
+  Mutex.protect mu (fun () ->
+      let t_end = record_locked name false in
+      let dur = t_end -. t_begin in
+      let s =
+        match Hashtbl.find_opt by_name name with
+        | Some s -> s
+        | None ->
+            let s = { count = 0; total_us = 0.0; max_us = 0.0 } in
+            Hashtbl.add by_name name s;
+            s
+      in
+      s.count <- s.count + 1;
+      s.total_us <- s.total_us +. dur;
+      if dur > s.max_us then s.max_us <- dur)
+
+let with_ name f =
+  if not (Gate.on ()) then f ()
+  else
+    (* Capture whether our begin event recorded: if the gate flips or the
+       cap trips mid-span we still only emit the end that matches. *)
+    match enter name with
+    | None -> f ()
+    | Some t_begin ->
+        let d = Domain.DLS.get depth_key in
+        incr d;
+        Fun.protect
+          ~finally:(fun () ->
+            decr d;
+            leave name t_begin)
+          f
+
+let events () = Mutex.protect mu (fun () -> List.rev !events_rev)
+let depth () = !(Domain.DLS.get depth_key)
+let dropped () = Mutex.protect mu (fun () -> !dropped_events)
+
+let summaries () =
+  Mutex.protect mu (fun () ->
+      Hashtbl.fold
+        (fun name s acc -> (name, s.count, s.total_us, s.max_us) :: acc)
+        by_name [])
+  |> List.sort (fun (a, _, _, _) (b, _, _, _) -> String.compare a b)
+
+let reset () =
+  Mutex.protect mu (fun () ->
+      events_rev := [];
+      n_events := 0;
+      dropped_events := 0;
+      last_ts := 0.0;
+      Hashtbl.reset by_name;
+      t0 := Unix.gettimeofday ())

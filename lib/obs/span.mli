@@ -1,0 +1,35 @@
+(** Wall-clock span tracing with nesting.
+
+    Spans record begin/end event pairs suitable for Chrome's [trace_event]
+    viewer, plus a per-name summary (count / total / max duration) for the
+    flat metrics export. Unlike {!Counters}, span timestamps are wall-clock
+    and therefore never deterministic — they are for humans profiling a run,
+    not for CI gates. *)
+
+val with_ : string -> (unit -> 'a) -> 'a
+(** [with_ name f] runs [f] inside a span named [name]. When the {!Gate} is
+    off this is just [f ()]. The end event is recorded even when [f] raises
+    ([Fun.protect]), so traces stay balanced and nesting depth is restored
+    under exceptions. *)
+
+type event = { name : string; enter : bool; ts_us : float; tid : int }
+(** [ts_us] is microseconds since the last {!reset}, clamped monotonic.
+    [tid] is the recording domain's id. *)
+
+val events : unit -> event list
+(** Recorded events in chronological order. *)
+
+val depth : unit -> int
+(** Current nesting depth of the calling domain. *)
+
+val summaries : unit -> (string * int * float * float) list
+(** Per-name [(name, count, total_us, max_us)] over completed spans, sorted
+    by name. *)
+
+val dropped : unit -> int
+(** Spans not recorded because the event buffer hit its cap. Only begin
+    events are ever dropped; an end event whose begin was recorded always
+    records, so the trace stays balanced. *)
+
+val reset : unit -> unit
+(** Clear all events and summaries and restart the trace clock. *)

@@ -14,6 +14,10 @@ type stats = {
 
 let make_stats () = { cutoff_hits = 0; blended = 0 }
 
+(* statobs: nodes pushed through the moment-propagation kernels (both the
+   windowed and the whole-circuit form), the inner engine's unit of work. *)
+let c_propagate_nodes = Obs.Counters.make "fassta.propagate.nodes"
+
 let record stats resolution =
   match resolution with
   | Numerics.Clark.Left_dominates | Numerics.Clark.Right_dominates ->
@@ -52,6 +56,7 @@ let max_arrivals ?stats arrivals =
    [nodes] get the boundary value too. Results land in [out] (a map from id
    to moments), which is also the return value. *)
 let propagate ?stats ~model ~circuit ~electrical ~boundary nodes =
+  Obs.Counters.add c_propagate_nodes (Array.length nodes);
   let out = Hashtbl.create (Array.length nodes * 2) in
   let value_of fi =
     match Hashtbl.find_opt out fi with Some m -> m | None -> boundary fi
@@ -78,6 +83,7 @@ let propagate ?stats ~model ~circuit ~electrical ~boundary nodes =
    the moments themselves) — the sizing inner loop calls this thousands of
    times per iteration. *)
 let propagate_into ?stats ?(exact = false) ~model ~circuit ~electrical out =
+  Obs.Counters.add c_propagate_nodes (Netlist.Circuit.size circuit);
   let input_arrival =
     electrical.Sta.Electrical.config.Sta.Electrical.input_arrival
   in

@@ -17,6 +17,11 @@ let default_config =
     electrical = Sta.Electrical.default_config;
   }
 
+(* statobs: scratch propagation node count vs dirty-cone wavefront pops —
+   the FULLSSTA analogue of the electrical engine's visit counters. *)
+let c_run_nodes = Obs.Counters.make "fullssta.run.nodes"
+let c_update_visits = Obs.Counters.make "fullssta.update.visits"
+
 type t = {
   circuit : Netlist.Circuit.t;
   config : config;
@@ -60,8 +65,10 @@ let node_strength circuit id =
 
 let run ?(config = default_config) circuit =
   if config.samples < 2 then invalid_arg "Fullssta.run: samples < 2";
+  Obs.Span.with_ "fullssta.run" @@ fun () ->
   let electrical = Sta.Electrical.compute ~config:config.electrical circuit in
   let n = Netlist.Circuit.size circuit in
+  Obs.Counters.add c_run_nodes n;
   let pdfs =
     Array.make n
       (Numerics.Discrete_pdf.constant config.electrical.Sta.Electrical.input_arrival)
@@ -170,6 +177,7 @@ let check_against_scratch t ~decay_tol =
    arcs that are actually dirty. *)
 let update ?(paranoid = false) ?(decay_tol = 0.0) ?(refresh_electrical = true)
     t ~resized =
+  Obs.Span.with_ "fullssta.update" @@ fun () ->
   if refresh_electrical then
     ignore (Sta.Electrical.update t.electrical t.circuit ~resized);
   let n = Netlist.Circuit.size t.circuit in
@@ -182,11 +190,13 @@ let update ?(paranoid = false) ?(decay_tol = 0.0) ?(refresh_electrical = true)
     then Netlist.Wavefront.push t.wave id
   done;
   let dirty = ref [] in
+  let visits = ref 0 in
   let quit = ref false in
   while not !quit do
     let id = Netlist.Wavefront.pop t.wave in
     if id < 0 then quit := true
-    else
+    else begin
+      incr visits;
       let fanins = Netlist.Circuit.fanins t.circuit id in
       if Array.length fanins > 0 then begin
         let row = Sta.Electrical.arc_delays t.electrical id in
@@ -227,7 +237,9 @@ let update ?(paranoid = false) ?(decay_tol = 0.0) ?(refresh_electrical = true)
               Netlist.Wavefront.push t.wave fo)
         end
       end
+    end
   done;
+  Obs.Counters.add c_update_visits !visits;
   (match t.out_rv with
   | Some _
     when List.exists (fun o -> t.changed.(o)) (Netlist.Circuit.outputs t.circuit)

@@ -12,6 +12,11 @@ type config = { input_slew : float; input_arrival : float }
 
 let default_config = { input_slew = 10.0; input_arrival = 0.0 }
 
+(* statobs: full-sweep node visits vs dirty-cone wavefront pops. Their
+   ratio is the incremental engine's savings, reproducible run-to-run. *)
+let c_compute_nodes = Obs.Counters.make "electrical.compute.nodes"
+let c_update_visits = Obs.Counters.make "electrical.update.visits"
+
 type t = {
   config : config;
   load : float array;
@@ -26,6 +31,7 @@ type t = {
 
 let compute ?(config = default_config) circuit =
   let n = Netlist.Circuit.size circuit in
+  Obs.Counters.add c_compute_nodes n;
   let load = Array.make n 0.0 in
   let slew = Array.make n config.input_slew in
   let arc_delay = Array.make n [||] in
@@ -56,6 +62,7 @@ let arc_delays t id = t.arc_delay.(id)
    window after a trial resize, leaving everything outside untouched.
    Boundary slews are whatever the arrays currently hold. *)
 let recompute_nodes t circuit ids =
+  Obs.Counters.add c_compute_nodes (Array.length ids);
   Array.iter
     (fun id ->
       t.load.(id) <- Netlist.Circuit.load circuit id;
@@ -77,6 +84,7 @@ let recompute_nodes t circuit ids =
    sweep) and used after each committed resize so subsequent evaluations
    never see stale loads or slews. *)
 let recompute_all t circuit =
+  Obs.Counters.add c_compute_nodes (Netlist.Circuit.size circuit);
   List.iter
     (fun id ->
       t.load.(id) <- Netlist.Circuit.load circuit id;
@@ -163,11 +171,14 @@ let update_core ~slew_tol ~within ~log t circuit ~resized =
         (Netlist.Circuit.fanins circuit g))
     resized;
   let push_fo fo = Netlist.Wavefront.push wave fo in
+  (* local pop count flushed once after the drain: the per-pop cost stays
+     off the disabled path entirely *)
+  let visits = ref 0 in
   let quit = ref false in
   while not !quit do
     let id = Netlist.Wavefront.pop wave in
     if id < 0 then quit := true
-    else if allow id then
+    else if (incr visits; allow id) then
       match Netlist.Circuit.cell circuit id with
       | None -> ()
       | Some cell ->
@@ -209,6 +220,7 @@ let update_core ~slew_tol ~within ~log t circuit ~resized =
             end
           end
   done;
+  Obs.Counters.add c_update_visits !visits;
   (!dirty, Array.of_list !entries)
 
 let update ?(slew_tol = 0.0) ?within t circuit ~resized =
