@@ -4,7 +4,7 @@
      dune exec bench/main.exe               -- full reproduction (Table 1 over
                                                the whole suite; takes minutes)
      dune exec bench/main.exe -- --quick    -- small-circuit subset
-     dune exec bench/main.exe -- table1|fig1|fig3|fig4|approx|ablation|micro|incremental
+     dune exec bench/main.exe -- table1|fig1|fig3|fig4|approx|ablation|micro|incremental|counters|statrace
 
    --json additionally emits machine-readable BENCH_micro.json /
    BENCH_incremental.json (hand-rolled encoder; no JSON dependency);
@@ -449,6 +449,66 @@ let run_counters () =
          ]);
   Obs.Sink.reset ()
 
+(* ---- statrace: parallel-safety analysis over the project's own sources --- *)
+
+(* Not a paper artifact: tracks the cost and findings profile of the static
+   race analyzer as the domain-parallel surface grows. The findings count on
+   the shipped tree must be zero — the @races gate enforces that — so this
+   section's JSON is a cost/coverage record, not a pass/fail signal. *)
+let run_statrace () =
+  heading "statrace — parallel-safety static analysis (lib/ + bin/)";
+  (* cwd is bench/ inside _build under the @bench-smoke rule, the project
+     root under `dune exec bench/main.exe` *)
+  let roots =
+    List.find_opt
+      (List.for_all Sys.file_exists)
+      [ [ "lib"; "bin" ]; [ "../lib"; "../bin" ] ]
+    |> Option.value ~default:[]
+  in
+  if roots = [] then Fmt.pr "  sources not found; skipping@."
+  else begin
+    let t0 = Unix.gettimeofday () in
+    let result = Statrace.Analyze.run_dirs roots in
+    let wall_s = Unix.gettimeofday () -. t0 in
+    let histogram =
+      Statrace.Analyze.count_by_code result.Statrace.Analyze.findings
+    in
+    Fmt.pr "  %d files, %d entry points, %d findings, %d suppressed (%.3fs)@."
+      result.Statrace.Analyze.files_scanned
+      (List.length result.Statrace.Analyze.entry_points)
+      (List.length result.Statrace.Analyze.findings)
+      result.Statrace.Analyze.suppressed wall_s;
+    List.iter
+      (fun (name, file, line) -> Fmt.pr "  entry %s (%s:%d)@." name file line)
+      result.Statrace.Analyze.entry_points;
+    List.iter (fun (code, n) -> Fmt.pr "  %-8s %d@." code n) histogram;
+    if json then
+      write_json "BENCH_statrace.json"
+        (Jobj
+           [
+             ("section", Jstr "statrace");
+             ("schema", Jstr "statrace/1");
+             ("roots", Jlist (List.map (fun r -> Jstr r) roots));
+             ("files_scanned", Jint result.Statrace.Analyze.files_scanned);
+             ( "entry_points",
+               Jlist
+                 (List.map
+                    (fun (name, file, line) ->
+                      Jobj
+                        [
+                          ("name", Jstr name);
+                          ("file", Jstr file);
+                          ("line", Jint line);
+                        ])
+                    result.Statrace.Analyze.entry_points) );
+             ( "findings_by_code",
+               Jobj (List.map (fun (c, n) -> (c, Jint n)) histogram) );
+             ("findings", Jint (List.length result.Statrace.Analyze.findings));
+             ("suppressed", Jint result.Statrace.Analyze.suppressed);
+             ("wall_s", Jnum wall_s);
+           ])
+  end
+
 let () =
   Fmt.pr "statsize paper-reproduction bench%s@."
     (if quick then " (--quick)" else "");
@@ -461,4 +521,5 @@ let () =
   if wants "micro" then run_micro ();
   if wants "incremental" then run_incremental ();
   if wants "counters" then run_counters ();
+  if wants "statrace" then run_statrace ();
   Fmt.pr "@.done.@."

@@ -10,6 +10,8 @@
      pca      CIRCUIT        correlation-aware SSTA vs the independent engines
      check    CIRCUIT        certify SSTA runs against abstract-interpretation
                              bounds (ABS rules) and report the dominance skip set
+     races    [ROOT]...      parallel-safety static analysis of the project's
+                             own sources (PAR rules), rooted at Domain.spawn
      dot      CIRCUIT FILE   Graphviz export with the WNSS cone highlighted
      table1 / fig1 / fig3 / fig4 / approx
                              regenerate the paper's experiments
@@ -617,6 +619,112 @@ let check_cmd =
           $ margin_arg $ budget_tol_arg $ strict_arg $ disable_arg
           $ severity_arg)
 
+let races_cmd =
+  let roots_arg =
+    let doc = "Source roots to scan for .ml files (recursive; _build and \
+               dot-directories skipped). Default: $(b,lib) $(b,bin)." in
+    Arg.(value & pos_all dir [] & info [] ~docv:"ROOT" ~doc)
+  in
+  let entry_arg =
+    Arg.(value & opt_all string []
+         & info [ "entry" ] ~docv:"NAME"
+             ~doc:"Restrict the analysis to Domain.spawn sites inside this \
+                   binding ($(b,Module.binding), bare $(b,binding), or bare \
+                   $(b,Module)). Repeatable; default: every spawn site.")
+  in
+  let allow_file_arg =
+    Arg.(value & opt (some file) None
+         & info [ "allow-file" ] ~docv:"FILE"
+             ~doc:"Allowlist file: lines of CODE PATH[:LINE] reason. Entries \
+                   that suppress nothing are flagged PAR007.")
+  in
+  let format_arg =
+    Arg.(value
+         & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+         & info [ "format" ] ~doc:"Output format: $(b,text) or $(b,json).")
+  in
+  let strict_arg =
+    Arg.(value & flag
+         & info [ "strict" ] ~doc:"Exit 3 when warnings are present (errors \
+                                   always exit 1).")
+  in
+  let disable_arg =
+    Arg.(value & opt (list string) []
+         & info [ "disable" ] ~doc:"Comma-separated rule codes to disable.")
+  in
+  let severity_arg =
+    Arg.(value & opt (list string) []
+         & info [ "severity" ]
+             ~doc:"Comma-separated severity overrides, e.g. \
+                   PAR005=error,PAR004=info.")
+  in
+  let die fmt = Fmt.kstr (fun m -> Fmt.epr "statsize races: %s@." m; exit 2) fmt in
+  let run roots entries allow_file format strict disable overrides =
+    let registry =
+      match Lint.Registry.of_spec ~disable ~overrides () with
+      | Ok r -> r
+      | Error msg -> die "--disable/--severity: %s" msg
+    in
+    let roots = if roots = [] then [ "lib"; "bin" ] else roots in
+    List.iter
+      (fun r -> if not (Sys.file_exists r) then die "no such root %s" r)
+      roots;
+    let allow =
+      match allow_file with
+      | None -> []
+      | Some path -> (
+          match Statrace.Analyze.parse_allow_file path with
+          | Ok a -> a
+          | Error msg -> die "--allow-file: %s" msg)
+    in
+    let result =
+      Statrace.Analyze.run_dirs ~config:{ Statrace.Analyze.entries; allow }
+        roots
+    in
+    let findings = Lint.Registry.apply registry result.Statrace.Analyze.findings in
+    (match format with
+    | `Json ->
+        print_endline (Lint.Report.to_json [ ("races", findings) ])
+    | `Text ->
+        Fmt.pr "scanned %d files under %s; %d parallel entry point%s:@."
+          result.Statrace.Analyze.files_scanned
+          (String.concat ", " roots)
+          (List.length result.Statrace.Analyze.entry_points)
+          (if List.length result.Statrace.Analyze.entry_points = 1 then ""
+           else "s");
+        List.iter
+          (fun (name, file, line) ->
+            Fmt.pr "  %s (%s:%d)@." name file line)
+          result.Statrace.Analyze.entry_points;
+        if result.Statrace.Analyze.suppressed > 0 then
+          Fmt.pr "%d finding%s suppressed by pragmas/allowlist@."
+            result.Statrace.Analyze.suppressed
+            (if result.Statrace.Analyze.suppressed = 1 then "" else "s");
+        Fmt.pr "races:@.%a" Lint.Report.pp findings);
+    exit (Lint.Report.exit_code ~strict findings)
+  in
+  Cmd.v
+    (Cmd.info "races"
+       ~doc:"Parallel-safety static analysis of the project's own sources"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P "Parses every .ml file under the given roots with the \
+               compiler's own front end, builds a module-level call graph, \
+               and classifies every mutable location reachable from a \
+               Domain.spawn region (PAR001-PAR007). Atomic operations, \
+               Mutex.protect regions (including callees reached only through \
+               guarded call sites), Domain.DLS state, and thunk-local \
+               allocations are safe by construction. Suppress a reviewed \
+               finding with a (* statrace: safe — reason *) comment on the \
+               line or the line above, or with $(b,--allow-file); stale \
+               suppressions are themselves flagged (PAR007). Exit codes \
+               match $(b,statsize lint): 0 clean or warnings, 1 errors, 2 \
+               usage errors, 3 warnings with $(b,--strict).";
+         ])
+    Term.(const run $ roots_arg $ entry_arg $ allow_file_arg $ format_arg
+          $ strict_arg $ disable_arg $ severity_arg)
+
 let main =
   let doc = "statistical gate sizing for process-variation tolerance" in
   Cmd.group
@@ -633,7 +741,7 @@ let main =
               summaries) or a Chrome trace_event JSON loadable at \
               chrome://tracing, respectively.";
          ])
-    [ list_cmd; info_cmd; lint_cmd; check_cmd; analyze_cmd; optimize_cmd; paths_cmd; slack_cmd;
+    [ list_cmd; info_cmd; lint_cmd; check_cmd; races_cmd; analyze_cmd; optimize_cmd; paths_cmd; slack_cmd;
       pca_cmd; rank_cmd; dot_cmd; table1_cmd; fig1_cmd; fig3_cmd; fig4_cmd;
       approx_cmd; ablation_cmd; export_cmd; verilog_cmd; sdf_cmd; power_cmd;
       liberty_cmd ]

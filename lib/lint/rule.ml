@@ -2,7 +2,13 @@
    never reused or renumbered, so CI greps and severity overrides stay
    stable across releases. *)
 
-type pack = Circuit_pack | Library_pack | Stat_pack | Bench_pack | Abs_pack
+type pack =
+  | Circuit_pack
+  | Library_pack
+  | Stat_pack
+  | Bench_pack
+  | Abs_pack
+  | Par_pack
 
 type meta = {
   code : string;
@@ -105,6 +111,30 @@ let all =
     mk "BENCH002" Bench_pack e "unsupported gate or arity"
       "technology mapping covers the ISCAS-85 primitive set plus the \
        writer's superset dialect, nothing else";
+    mk "PAR000" Par_pack e "unparseable source file"
+      "statrace analyzes the project's own sources; a file the compiler \
+       frontend rejects cannot be certified race-free";
+    mk "PAR001" Par_pack e "unprotected shared ref write"
+      "module-global refs written from domain-reachable code need Atomic.t \
+       or a mutex — plain stores are lost-update races under parallelism";
+    mk "PAR002" Par_pack e "unprotected mutable field or container write"
+      "mutable record fields and Hashtbl/Buffer/Queue/Stack are not \
+       thread-safe; concurrent mutation corrupts their internal structure";
+    mk "PAR003" Par_pack e "unprotected shared array or bytes write"
+      "Array.set/Bytes.set on state aliased across a spawn races with \
+       concurrent readers and writers of the same slot";
+    mk "PAR004" Par_pack w "Domain.DLS key created in domain-reachable code"
+      "a DLS key minted per call is a fresh, unshared slot every time — the \
+       state silently stops being domain-local-but-persistent";
+    mk "PAR005" Par_pack w "split atomic read-modify-write"
+      "an Atomic.get/Atomic.set pair on the same location is not atomic as \
+       a unit; use fetch_and_add/exchange/compare_and_set";
+    mk "PAR006" Par_pack e "spawn closure writes captured mutable local"
+      "a mutable allocated outside the thunk but written inside it is \
+       shared across domains without any protocol";
+    mk "PAR007" Par_pack w "stale statrace suppression"
+      "a pragma or allow-file entry that suppresses nothing hides future \
+       regressions at that site; the allowlist must stay verified";
   ]
 
 let find code = List.find_opt (fun m -> m.code = code) all
@@ -116,6 +146,7 @@ let pack_name = function
   | Stat_pack -> "statistical"
   | Bench_pack -> "bench"
   | Abs_pack -> "abstract"
+  | Par_pack -> "parallel"
 
 let pp_meta ppf m =
   Fmt.pf ppf "%s [%s, default %a] %s — %s" m.code (pack_name m.pack)

@@ -3,7 +3,13 @@
     DESIGN.md's "Diagnostics & lint" table is generated from this data, and
     the test suite asserts every non-internal code has a trigger. *)
 
-type pack = Circuit_pack | Library_pack | Stat_pack | Bench_pack | Abs_pack
+type pack =
+  | Circuit_pack
+  | Library_pack
+  | Stat_pack
+  | Bench_pack
+  | Abs_pack
+  | Par_pack
 
 type meta = {
   code : string;

@@ -1,0 +1,351 @@
+(* Classification pass: reachability-gated mutable-state findings, then the
+   allowlist (source pragmas + allow-file), then staleness of the allowlist
+   itself. Severities come from the lint catalogue so a PAR finding carries
+   exactly what `statsize lint` would assign it. *)
+
+type allow_entry = {
+  al_code : string;
+  al_file : string;
+  al_line : int;
+  al_origin : string * int;
+}
+
+type config = { entries : string list; allow : allow_entry list }
+
+let default_config = { entries = []; allow = [] }
+
+type result = {
+  files_scanned : int;
+  entry_points : (string * string * int) list;
+  findings : Diag.t list;
+  suppressed : int;
+}
+
+let severity_of code =
+  match Lint.Rule.find code with
+  | Some m -> m.Lint.Rule.severity
+  | None -> Diag.Severity.Warning
+
+let finding ~code ~file ~line ?hint fmt =
+  Fmt.kstr
+    (fun message ->
+      Diag.make ~code ~severity:(severity_of code)
+        ~loc:(Diag.File { file; line })
+        ?hint message)
+    fmt
+
+let allow_hint =
+  "protect with Atomic.t or Mutex.protect, make the state domain-local \
+   (Domain.DLS or allocate inside the spawned thunk), or annotate the line \
+   with (* statrace: safe — reason *)"
+
+(* ---- allow file ---------------------------------------------------------- *)
+
+let parse_allow_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | text ->
+      let entries = ref [] and err = ref None in
+      String.split_on_char '\n' text
+      |> List.iteri (fun i line ->
+             let lineno = i + 1 in
+             let line =
+               match String.index_opt line '#' with
+               | Some j -> String.sub line 0 j
+               | None -> line
+             in
+             match
+               String.split_on_char ' ' (String.trim line)
+               |> List.filter (fun s -> s <> "")
+             with
+             | [] -> ()
+             | code :: target :: _rest when Lint.Rule.mem code ->
+                 let file, al_line =
+                   match String.rindex_opt target ':' with
+                   | Some j -> (
+                       let f = String.sub target 0 j in
+                       let l =
+                         String.sub target (j + 1) (String.length target - j - 1)
+                       in
+                       match int_of_string_opt l with
+                       | Some n -> (f, n)
+                       | None -> (target, 0))
+                   | None -> (target, 0)
+                 in
+                 entries :=
+                   {
+                     al_code = code;
+                     al_file = file;
+                     al_line;
+                     al_origin = (path, lineno);
+                   }
+                   :: !entries
+             | code :: _ ->
+                 if !err = None then
+                   err :=
+                     Some
+                       (Printf.sprintf "%s:%d: unknown rule code %s" path
+                          lineno code));
+      (match !err with
+      | Some e -> Error e
+      | None -> Ok (List.rev !entries))
+
+(* ---- entry selection ----------------------------------------------------- *)
+
+let entry_selected config ~module_ (b : Scan.binding) =
+  config.entries = []
+  || List.exists
+       (fun e ->
+         e = module_ ^ "." ^ b.Scan.b_name
+         || e = b.Scan.b_name || e = module_)
+       config.entries
+
+(* ---- per-binding classification ------------------------------------------ *)
+
+let code_of_kind = function
+  | Scan.Ref -> "PAR001"
+  | Scan.Field | Scan.Container -> "PAR002"
+  | Scan.Array_slot | Scan.Bytes_slot -> "PAR003"
+
+let kind_noun = function
+  | Scan.Ref -> "ref"
+  | Scan.Field -> "mutable field of"
+  | Scan.Container -> "shared container"
+  | Scan.Array_slot -> "array"
+  | Scan.Bytes_slot -> "bytes"
+
+let toplevel_exists graph ~module_ ~value =
+  Callgraph.toplevel graph ~module_ ~value <> []
+
+let classify_binding graph ~file ~module_ ~is_entry (b : Scan.binding) =
+  let st = Callgraph.status graph ~module_ ~value:b.Scan.b_name in
+  let unguarded_reachable = is_entry || st = Some Callgraph.Unguarded in
+  let any_reachable = is_entry || st <> None in
+  let out = ref [] in
+  let emit d = out := d :: !out in
+  let shared_write (w : Scan.write) name =
+    emit
+      (finding ~code:(code_of_kind w.Scan.w_kind) ~file ~line:w.Scan.w_line
+         ~hint:allow_hint
+         "%s `%s` is written here without Atomic/Mutex protection in code \
+          reachable from a Domain.spawn region (via %s.%s)"
+         (kind_noun w.Scan.w_kind) name module_ b.Scan.b_name)
+  in
+  List.iter
+    (fun (w : Scan.write) ->
+      if not w.Scan.w_guarded then
+        let active =
+          if w.Scan.w_spawn > 0 then is_entry else unguarded_reachable
+        in
+        if active then
+          match w.Scan.w_target with
+          | Scan.Var (name, Scan.Local { spawn_depth; _ })
+            when w.Scan.w_spawn > spawn_depth ->
+              emit
+                (finding ~code:"PAR006" ~file ~line:w.Scan.w_line
+                   ~hint:
+                     "allocate the state inside the spawned thunk, or hand \
+                      results back through Domain.join instead of a captured \
+                      mutable"
+                   "spawn closure writes `%s`, a mutable local captured from \
+                    the enclosing scope of %s.%s"
+                   name module_ b.Scan.b_name)
+          | Scan.Var _ -> ()
+          | Scan.Free name ->
+              if toplevel_exists graph ~module_ ~value:name then
+                shared_write w name
+          | Scan.Path path -> shared_write w (String.concat "." path)
+          | Scan.Complex -> ())
+    b.Scan.b_writes;
+  (* PAR004: per-call DLS key creation in domain-reachable code *)
+  List.iter
+    (fun (d : Scan.dls_new) ->
+      if d.Scan.d_spawn > 0 || (b.Scan.b_is_function && st <> None) then
+        emit
+          (finding ~code:"PAR004" ~file ~line:d.Scan.d_line
+             ~hint:
+               "create the key once at module initialization; a key minted \
+                per call is a fresh, unshared slot every time"
+             "Domain.DLS.new_key executed inside domain-reachable code \
+              (%s.%s)"
+             module_ b.Scan.b_name))
+    b.Scan.b_dls_news;
+  (* PAR005: split atomic read-modify-write inside one binding *)
+  if any_reachable || List.exists (fun (a : Scan.atomic_op) -> a.Scan.a_spawn > 0) b.Scan.b_atomics
+  then begin
+    let gets =
+      List.filter
+        (fun (a : Scan.atomic_op) -> a.Scan.a_side = `Get && not a.Scan.a_guarded)
+        b.Scan.b_atomics
+    in
+    List.iter
+      (fun (s : Scan.atomic_op) ->
+        if
+          s.Scan.a_side = `Set && (not s.Scan.a_guarded)
+          && (any_reachable || s.Scan.a_spawn > 0)
+          && List.exists
+               (fun (g : Scan.atomic_op) -> g.Scan.a_target = s.Scan.a_target)
+               gets
+        then
+          emit
+            (finding ~code:"PAR005" ~file ~line:s.Scan.a_line
+               ~hint:
+                 "use Atomic.fetch_and_add / exchange / compare_and_set so \
+                  the read and write are one indivisible step"
+               "Atomic.set of `%s` pairs with an Atomic.get of the same \
+                location in %s.%s: a read-modify-write split across \
+                statements loses updates under contention"
+               s.Scan.a_target module_ b.Scan.b_name))
+      b.Scan.b_atomics
+  end;
+  List.rev !out
+
+(* ---- driver -------------------------------------------------------------- *)
+
+let has_suffix ~suffix s =
+  let ls = String.length s and lf = String.length suffix in
+  lf <= ls && String.sub s (ls - lf) lf = suffix
+
+let dedupe diags =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun (d : Diag.t) ->
+      let key = (d.Diag.code, Diag.to_string d) in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        true
+      end)
+    diags
+
+let run ?(config = default_config) sources =
+  let facts = List.map Scan.file sources in
+  let graph = Callgraph.build facts in
+  let entries =
+    List.concat_map
+      (fun (ff : Scan.file_facts) ->
+        let module_ = ff.Scan.source.Source.module_name in
+        List.filter_map
+          (fun (b : Scan.binding) ->
+            if b.Scan.b_spawns <> [] && entry_selected config ~module_ b then
+              Some (module_, ff.Scan.source.Source.path, b)
+            else None)
+          ff.Scan.bindings)
+      facts
+  in
+  Callgraph.compute graph
+    ~entries:(List.map (fun (m, _, b) -> (m, b)) entries);
+  let raw =
+    List.concat_map
+      (fun (ff : Scan.file_facts) ->
+        let module_ = ff.Scan.source.Source.module_name in
+        let file = ff.Scan.source.Source.path in
+        List.concat_map
+          (fun (b : Scan.binding) ->
+            let is_entry =
+              b.Scan.b_spawns <> [] && entry_selected config ~module_ b
+            in
+            classify_binding graph ~file ~module_ ~is_entry b)
+          ff.Scan.bindings)
+      facts
+    |> dedupe
+  in
+  (* allowlist: source pragmas first, then allow-file entries *)
+  let used_pragmas : (string * int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let used_allows : (string * int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let source_for file =
+    List.find_opt (fun (s : Source.t) -> s.Source.path = file) sources
+  in
+  let suppressed = ref 0 in
+  let findings =
+    List.filter
+      (fun (d : Diag.t) ->
+        match d.Diag.location with
+        | Diag.File { file; line } ->
+            let by_pragma =
+              match source_for file with
+              | Some src -> (
+                  match Source.pragma_for src ~line with
+                  | Some (pline, _) ->
+                      Hashtbl.replace used_pragmas (file, pline) ();
+                      true
+                  | None -> false)
+              | None -> false
+            in
+            let by_allow =
+              (not by_pragma)
+              && List.exists
+                   (fun a ->
+                     if
+                       a.al_code = d.Diag.code
+                       && has_suffix ~suffix:a.al_file file
+                       && (a.al_line = 0 || a.al_line = line)
+                     then begin
+                       Hashtbl.replace used_allows a.al_origin ();
+                       true
+                     end
+                     else false)
+                   config.allow
+            in
+            if by_pragma || by_allow then begin
+              incr suppressed;
+              false
+            end
+            else true
+        | _ -> true)
+      raw
+  in
+  let stale =
+    List.concat_map
+      (fun (s : Source.t) ->
+        List.filter_map
+          (fun (line, _) ->
+            if Hashtbl.mem used_pragmas (s.Source.path, line) then None
+            else
+              Some
+                (finding ~code:"PAR007" ~file:s.Source.path ~line
+                   ~hint:"delete the pragma, or re-point it at the line it \
+                          is meant to cover"
+                   "stale statrace pragma: it suppresses no finding"))
+          s.Source.pragmas)
+      sources
+    @ List.filter_map
+        (fun a ->
+          if Hashtbl.mem used_allows a.al_origin then None
+          else
+            let file, line = a.al_origin in
+            Some
+              (finding ~code:"PAR007" ~file ~line
+                 ~hint:"delete the entry, or fix its CODE PATH:LINE to match"
+                 "stale allow-file entry: %s %s%s suppresses no finding"
+                 a.al_code a.al_file
+                 (if a.al_line = 0 then "" else Printf.sprintf ":%d" a.al_line)))
+        config.allow
+  in
+  {
+    files_scanned = List.length sources;
+    entry_points =
+      List.map
+        (fun (m, file, (b : Scan.binding)) ->
+          ( m ^ "." ^ b.Scan.b_name,
+            file,
+            match b.Scan.b_spawns with l :: _ -> l | [] -> b.Scan.b_line ))
+        entries;
+    findings = Diag.sort (findings @ stale);
+    suppressed = !suppressed;
+  }
+
+let run_dirs ?(config = default_config) roots =
+  let sources, parse_errors = Source.load_dirs roots in
+  let r = run ~config sources in
+  { r with findings = Diag.sort (parse_errors @ r.findings) }
+
+let count_by_code diags =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (d : Diag.t) ->
+      Hashtbl.replace tbl d.Diag.code
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tbl d.Diag.code)))
+    diags;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

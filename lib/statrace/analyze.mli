@@ -1,0 +1,65 @@
+(** Classification: turn per-file facts + reachability into PAR findings.
+
+    Rule pack (catalogue defaults in [Lint.Rule]):
+    - {b PAR000} (Error) — unparseable source file.
+    - {b PAR001} (Error) — a plain [ref] that is module-global or another
+      module's state is written from domain-reachable code without
+      [Atomic]/[Mutex] protection.
+    - {b PAR002} (Error) — same, for mutable record fields and shared
+      containers (Hashtbl/Buffer/Queue/Stack).
+    - {b PAR003} (Error) — same, for [Array.set]/[Bytes.set] and friends on
+      a shared array aliased across the spawn.
+    - {b PAR004} (Warning) — [Domain.DLS.new_key] executed inside
+      domain-reachable code: every call mints a fresh key, so state silently
+      stops being shared across calls and the key table leaks.
+    - {b PAR005} (Warning) — an [Atomic.set] whose same-location
+      [Atomic.get] sits in the same binding: a read-modify-write split
+      across statements that loses updates under contention; use
+      [fetch_and_add]/[exchange]/[compare_and_set].
+    - {b PAR006} (Error) — a spawn closure writes a mutable local captured
+      from the enclosing scope (allocated outside the thunk).
+    - {b PAR007} (Warning) — a [(* statrace: safe — reason *)] pragma or an
+      allow-file entry that suppresses nothing: stale allowlist.
+
+    Safe by construction (no finding): [Atomic.*] operations, writes inside
+    [Mutex.protect] thunks (directly or via callees reached only through
+    guarded call sites), [Domain.DLS] state, and mutable locals allocated
+    inside the spawned thunk itself. Writes through parameters and complex
+    lvalues are out of scope — the alias-analysis caveat in DESIGN.md §12. *)
+
+type allow_entry = {
+  al_code : string;
+  al_file : string;  (** suffix-matched against finding paths *)
+  al_line : int;  (** 0 = any line in the file *)
+  al_origin : string * int;  (** allow-file path and line, for staleness *)
+}
+
+type config = {
+  entries : string list;
+      (** restrict to spawn sites whose enclosing binding matches one of
+          these names ([Module.binding], bare [binding], or bare [Module]);
+          empty = every spawn site found *)
+  allow : allow_entry list;
+}
+
+val default_config : config
+
+val parse_allow_file : string -> (allow_entry list, string) result
+(** Lines of [CODE PATH[:LINE] optional reason]; [#] comments and blank
+    lines skipped. *)
+
+type result = {
+  files_scanned : int;
+  entry_points : (string * string * int) list;
+      (** [(Module.binding, file, line of first spawn)] *)
+  findings : Diag.t list;  (** sorted; allowlist already applied *)
+  suppressed : int;  (** findings removed by pragmas/allow entries *)
+}
+
+val run : ?config:config -> Source.t list -> result
+
+val run_dirs : ?config:config -> string list -> result
+(** [Source.load_dirs] + [run]; PAR000 parse failures join the findings. *)
+
+val count_by_code : Diag.t list -> (string * int) list
+(** Sorted per-code histogram, for reports and BENCH_statrace.json. *)

@@ -1,0 +1,89 @@
+type status = Guarded_only | Unguarded
+
+type t = {
+  modules : (string, Scan.file_facts list) Hashtbl.t;
+  statuses : (string * string, status) Hashtbl.t;
+}
+
+let build facts =
+  let modules = Hashtbl.create 64 in
+  List.iter
+    (fun (ff : Scan.file_facts) ->
+      let m = ff.Scan.source.Source.module_name in
+      Hashtbl.replace modules m
+        (match Hashtbl.find_opt modules m with
+        | Some fs -> fs @ [ ff ]
+        | None -> [ ff ]))
+    facts;
+  { modules; statuses = Hashtbl.create 256 }
+
+let toplevel t ~module_ ~value =
+  match Hashtbl.find_opt t.modules module_ with
+  | None -> []
+  | Some files ->
+      List.concat_map
+        (fun (ff : Scan.file_facts) ->
+          List.filter (fun (b : Scan.binding) -> b.Scan.b_name = value) ff.bindings)
+        files
+
+let is_capitalized s =
+  String.length s > 0 && Char.uppercase_ascii s.[0] = s.[0]
+
+let resolve t ~current_module path =
+  match path with
+  | [] -> []
+  | [ v ] ->
+      toplevel t ~module_:current_module ~value:v
+      |> List.map (fun b -> (current_module, b))
+  | comps ->
+      let arr = Array.of_list comps in
+      let n = Array.length arr in
+      (* rightmost component that names a known source module and is
+         followed by at least one more component *)
+      let rec try_at i =
+        if i < 0 then []
+        else if is_capitalized arr.(i) && Hashtbl.mem t.modules arr.(i) then
+          let value =
+            String.concat "." (Array.to_list (Array.sub arr (i + 1) (n - i - 1)))
+          in
+          match toplevel t ~module_:arr.(i) ~value with
+          | [] -> try_at (i - 1)
+          | bs -> List.map (fun b -> (arr.(i), b)) bs
+        else try_at (i - 1)
+      in
+      try_at (n - 2)
+
+let status t ~module_ ~value = Hashtbl.find_opt t.statuses (module_, value)
+
+let compute t ~entries =
+  let work = Queue.create () in
+  let push_callees modu (b : Scan.binding) ~as_guarded =
+    List.iter
+      (fun (c : Scan.call) ->
+        let g = as_guarded || c.Scan.c_guarded in
+        List.iter
+          (fun (m', b') -> Queue.add (m', b', g) work)
+          (resolve t ~current_module:modu c.Scan.c_path))
+      b.Scan.b_calls
+  in
+  List.iter
+    (fun (m, b) -> push_callees m b ~as_guarded:false)
+    entries;
+  while not (Queue.is_empty work) do
+    let m, (b : Scan.binding), guarded = Queue.pop work in
+    if b.Scan.b_is_function then begin
+      let key = (m, b.Scan.b_name) in
+      let improved =
+        match (Hashtbl.find_opt t.statuses key, guarded) with
+        | Some Unguarded, _ -> None
+        | Some Guarded_only, true -> None
+        | Some Guarded_only, false | None, false -> Some Unguarded
+        | None, true -> Some Guarded_only
+      in
+      match improved with
+      | None -> ()
+      | Some st ->
+          Hashtbl.replace t.statuses key st;
+          push_callees m b ~as_guarded:(st = Guarded_only)
+    end
+  done

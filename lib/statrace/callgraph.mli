@@ -1,0 +1,39 @@
+(** Module-level call graph and domain-reachability over it.
+
+    Nodes are [(module, top-level binding)] pairs; an edge exists wherever a
+    binding's body mentions an identifier that resolves to another top-level
+    binding (mention, not just application — a function passed higher-order
+    is reachable too). Resolution is purely syntactic: for a qualified path
+    the rightmost component naming a known source module wins, with library
+    namespace prefixes ([Core.Sizer.optimize] → [Sizer.optimize]) falling
+    away naturally. Unresolvable paths (stdlib, external libraries) are
+    dropped — the FFI blind spot DESIGN.md §12 documents.
+
+    Reachability starts from the calls made by spawn-containing bindings and
+    propagates only through bindings that are syntactically functions: a
+    non-function binding's body ran once at module init, on the loading
+    domain, before any spawn. Each reached node carries a guard status:
+    {!Guarded_only} when every path to it goes through a
+    [Mutex.protect _ (fun () -> ...)] call site, {!Unguarded} otherwise. *)
+
+type status = Guarded_only | Unguarded
+
+type t
+
+val build : Scan.file_facts list -> t
+
+val toplevel : t -> module_:string -> value:string -> Scan.binding list
+(** Top-level bindings named [value] in files compiling to [module_]
+    (several files of the same name merge). *)
+
+val resolve :
+  t -> current_module:string -> string list -> (string * Scan.binding) list
+(** Resolve a flattened identifier path to candidate [(module, binding)]
+    targets; [[]] when the path leaves the analyzed source set. *)
+
+val compute : t -> entries:(string * Scan.binding) list -> unit
+(** Run the guarded-reachability fixpoint from the given spawn-containing
+    [(module, binding)] entry points. Idempotent per [t]. *)
+
+val status : t -> module_:string -> value:string -> status option
+(** [None] = not reachable from any analyzed parallel region. *)

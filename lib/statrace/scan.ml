@@ -1,0 +1,474 @@
+(* The extraction pass. One hand-rolled recursion over [Parsetree]
+   expressions (compiler-libs 5.1 layout) threading an immutable context —
+   scope map, spawn depth, guard depth — and appending facts to the current
+   binding's accumulator. A manual walk, rather than [Ast_iterator], keeps
+   the scope save/restore discipline explicit: every construct that binds
+   names extends the map for exactly its own subtree. *)
+
+open Parsetree
+
+type mutable_kind = Ref | Field | Array_slot | Bytes_slot | Container
+
+type origin =
+  | Local of { kind : mutable_kind option; spawn_depth : int }
+  | Dls
+  | Binding
+
+type target =
+  | Var of string * origin
+  | Free of string
+  | Path of string list
+  | Complex
+
+type write = {
+  w_kind : mutable_kind;
+  w_target : target;
+  w_line : int;
+  w_spawn : int;
+  w_guarded : bool;
+}
+
+type call = { c_path : string list; c_spawn : int; c_guarded : bool }
+
+type atomic_op = {
+  a_side : [ `Get | `Set ];
+  a_target : string;
+  a_line : int;
+  a_spawn : int;
+  a_guarded : bool;
+}
+
+type dls_new = { d_line : int; d_spawn : int }
+
+type binding = {
+  b_name : string;
+  b_line : int;
+  b_is_function : bool;
+  b_alloc : mutable_kind option;
+  b_spawns : int list;
+  b_writes : write list;
+  b_calls : call list;
+  b_atomics : atomic_op list;
+  b_dls_news : dls_new list;
+}
+
+type file_facts = { source : Source.t; bindings : binding list }
+
+module SMap = Map.Make (String)
+
+type ctx = { scope : origin SMap.t; spawn : int; guard : bool }
+
+(* Mutable accumulator for the binding currently being walked. *)
+type acc = {
+  mutable spawns : int list;
+  mutable writes : write list;
+  mutable calls : call list;
+  mutable atomics : atomic_op list;
+  mutable dls_news : dls_new list;
+}
+
+let fresh_acc () =
+  { spawns = []; writes = []; calls = []; atomics = []; dls_news = [] }
+
+let rec flatten_lid = function
+  | Longident.Lident s -> [ s ]
+  | Longident.Ldot (l, s) -> flatten_lid l @ [ s ]
+  | Longident.Lapply (a, _) -> flatten_lid a
+
+let last2 = function
+  | [] | [ _ ] -> None
+  | path ->
+      let arr = Array.of_list path in
+      let n = Array.length arr in
+      Some (arr.(n - 2), arr.(n - 1))
+
+let line_of e = e.pexp_loc.Location.loc_start.Lexing.pos_lnum
+
+(* ---- pattern variables --------------------------------------------------- *)
+
+let rec pat_vars p =
+  match p.ppat_desc with
+  | Ppat_var { txt; _ } -> [ txt ]
+  | Ppat_alias (sub, { txt; _ }) -> txt :: pat_vars sub
+  | Ppat_tuple ps | Ppat_array ps -> List.concat_map pat_vars ps
+  | Ppat_construct (_, Some (_, p)) | Ppat_variant (_, Some p) -> pat_vars p
+  | Ppat_record (fields, _) -> List.concat_map (fun (_, p) -> pat_vars p) fields
+  | Ppat_or (a, b) -> pat_vars a @ pat_vars b
+  | Ppat_constraint (p, _) | Ppat_lazy p | Ppat_exception p | Ppat_open (_, p)
+    ->
+      pat_vars p
+  | _ -> []
+
+let bind_pat origin ctx p =
+  List.fold_left
+    (fun scope v -> SMap.add v origin scope)
+    ctx.scope (pat_vars p)
+  |> fun scope -> { ctx with scope }
+
+(* ---- syntactic classification -------------------------------------------- *)
+
+(* Does this RHS syntactically allocate fresh mutable state? *)
+let rec alloc_of_rhs e =
+  match e.pexp_desc with
+  | Pexp_array _ -> `Alloc Array_slot
+  | Pexp_record _ -> `Alloc Field
+  | Pexp_constraint (e, _) | Pexp_open (_, e) | Pexp_newtype (_, e) ->
+      alloc_of_rhs e
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> (
+      match flatten_lid txt with
+      | [ "ref" ] | [ "Stdlib"; "ref" ] -> `Alloc Ref
+      | path when last2 path = Some ("DLS", "get") -> `Dls
+      | path -> (
+          match last2 path with
+          | Some
+              ( "Array",
+                ( "make" | "init" | "copy" | "create_float" | "make_matrix"
+                | "of_list" | "append" | "sub" | "map" | "mapi" | "concat" ) )
+            ->
+              `Alloc Array_slot
+          | Some
+              ("Bytes", ("create" | "make" | "copy" | "of_string" | "init" | "sub"))
+            ->
+              `Alloc Bytes_slot
+          | Some ("Hashtbl", ("create" | "copy"))
+          | Some (("Buffer" | "Queue" | "Stack"), "create") ->
+              `Alloc Container
+          | _ -> `Other))
+  | _ -> `Other
+
+let origin_of_rhs ctx e =
+  match alloc_of_rhs e with
+  | `Alloc kind -> Local { kind = Some kind; spawn_depth = ctx.spawn }
+  | `Dls -> Dls
+  | `Other -> Binding
+
+let target_of ctx e =
+  match e.pexp_desc with
+  | Pexp_ident { txt = Longident.Lident name; _ } -> (
+      match SMap.find_opt name ctx.scope with
+      | Some o -> Var (name, o)
+      | None -> Free name)
+  | Pexp_ident { txt; _ } -> Path (flatten_lid txt)
+  | _ -> Complex
+
+(* A stable rendering of simple lvalues ([counter], [t.cell], [M.flag]) for
+   PAR005's same-location get/set pairing; anything more complex renders
+   uniquely per line so it can never pair up. *)
+let rec render_simple e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> String.concat "." (flatten_lid txt)
+  | Pexp_field (base, { txt; _ }) ->
+      render_simple base ^ "." ^ String.concat "." (flatten_lid txt)
+  | _ -> Printf.sprintf "<expr@%d>" (line_of e)
+
+(* Mutating stdlib entry points: (module, function) -> kind and the index of
+   the mutated argument. *)
+let mutator_table =
+  [
+    (("Array", "set"), (Array_slot, 0));
+    (("Array", "unsafe_set"), (Array_slot, 0));
+    (("Array", "fill"), (Array_slot, 0));
+    (("Array", "sort"), (Array_slot, 1));
+    (("Array", "fast_sort"), (Array_slot, 1));
+    (("Array", "stable_sort"), (Array_slot, 1));
+    (("Array", "blit"), (Array_slot, 2));
+    (("Bytes", "set"), (Bytes_slot, 0));
+    (("Bytes", "unsafe_set"), (Bytes_slot, 0));
+    (("Bytes", "fill"), (Bytes_slot, 0));
+    (("Bytes", "blit"), (Bytes_slot, 2));
+    (("Bytes", "blit_string"), (Bytes_slot, 2));
+    (("Hashtbl", "add"), (Container, 0));
+    (("Hashtbl", "replace"), (Container, 0));
+    (("Hashtbl", "remove"), (Container, 0));
+    (("Hashtbl", "reset"), (Container, 0));
+    (("Hashtbl", "clear"), (Container, 0));
+    (("Hashtbl", "filter_map_inplace"), (Container, 1));
+    (("Buffer", "add_char"), (Container, 0));
+    (("Buffer", "add_string"), (Container, 0));
+    (("Buffer", "add_bytes"), (Container, 0));
+    (("Buffer", "add_buffer"), (Container, 0));
+    (("Buffer", "add_substring"), (Container, 0));
+    (("Buffer", "clear"), (Container, 0));
+    (("Buffer", "reset"), (Container, 0));
+    (("Buffer", "truncate"), (Container, 0));
+    (("Queue", "push"), (Container, 1));
+    (("Queue", "add"), (Container, 1));
+    (("Queue", "pop"), (Container, 0));
+    (("Queue", "take"), (Container, 0));
+    (("Queue", "clear"), (Container, 0));
+    (("Stack", "push"), (Container, 1));
+    (("Stack", "pop"), (Container, 0));
+    (("Stack", "clear"), (Container, 0));
+  ]
+
+(* ---- the walk ------------------------------------------------------------ *)
+
+let walk acc =
+  let record_write ctx ~kind ~line target =
+    acc.writes <-
+      {
+        w_kind = kind;
+        w_target = target;
+        w_line = line;
+        w_spawn = ctx.spawn;
+        w_guarded = ctx.guard;
+      }
+      :: acc.writes
+  in
+  let record_call ctx path =
+    acc.calls <-
+      { c_path = path; c_spawn = ctx.spawn; c_guarded = ctx.guard }
+      :: acc.calls
+  in
+  let record_atomic ctx ~side ~line target_expr =
+    acc.atomics <-
+      {
+        a_side = side;
+        a_target = render_simple target_expr;
+        a_line = line;
+        a_spawn = ctx.spawn;
+        a_guarded = ctx.guard;
+      }
+      :: acc.atomics
+  in
+  let rec expr ctx e =
+    let line = line_of e in
+    match e.pexp_desc with
+    | Pexp_ident { txt; _ } -> record_call ctx (flatten_lid txt)
+    | Pexp_constant _ | Pexp_unreachable | Pexp_new _ | Pexp_extension _ -> ()
+    | Pexp_let (_, vbs, body) ->
+        List.iter (fun vb -> expr ctx vb.pvb_expr) vbs;
+        let ctx' =
+          List.fold_left
+            (fun c vb ->
+              match vb.pvb_pat.ppat_desc with
+              | Ppat_var { txt; _ } ->
+                  {
+                    c with
+                    scope =
+                      SMap.add txt (origin_of_rhs ctx vb.pvb_expr) c.scope;
+                  }
+              | _ -> bind_pat Binding c vb.pvb_pat)
+            ctx vbs
+        in
+        expr ctx' body
+    | Pexp_fun (_, default, pat, body) ->
+        Option.iter (expr ctx) default;
+        expr (bind_pat Binding ctx pat) body
+    | Pexp_function cases -> List.iter (case ctx) cases
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) ->
+        apply ctx ~line (flatten_lid txt) args
+    | Pexp_apply (f, args) ->
+        expr ctx f;
+        List.iter (fun (_, a) -> expr ctx a) args
+    | Pexp_match (scrut, cases) | Pexp_try (scrut, cases) ->
+        expr ctx scrut;
+        List.iter (case ctx) cases
+    | Pexp_tuple es | Pexp_array es -> List.iter (expr ctx) es
+    | Pexp_construct (_, eo) | Pexp_variant (_, eo) -> Option.iter (expr ctx) eo
+    | Pexp_record (fields, base) ->
+        List.iter (fun (_, v) -> expr ctx v) fields;
+        Option.iter (expr ctx) base
+    | Pexp_field (base, _) -> expr ctx base
+    | Pexp_setfield (base, _, v) ->
+        record_write ctx ~kind:Field ~line (target_of ctx base);
+        expr ctx base;
+        expr ctx v
+    | Pexp_ifthenelse (c, t, eo) ->
+        expr ctx c;
+        expr ctx t;
+        Option.iter (expr ctx) eo
+    | Pexp_sequence (a, b) ->
+        expr ctx a;
+        expr ctx b
+    | Pexp_while (c, body) ->
+        expr ctx c;
+        expr ctx body
+    | Pexp_for (pat, lo, hi, _, body) ->
+        expr ctx lo;
+        expr ctx hi;
+        expr (bind_pat Binding ctx pat) body
+    | Pexp_constraint (e, _)
+    | Pexp_coerce (e, _, _)
+    | Pexp_assert e
+    | Pexp_lazy e
+    | Pexp_poly (e, _)
+    | Pexp_newtype (_, e)
+    | Pexp_open (_, e)
+    | Pexp_send (e, _)
+    | Pexp_setinstvar (_, e) ->
+        expr ctx e
+    | Pexp_override fields -> List.iter (fun (_, v) -> expr ctx v) fields
+    | Pexp_letmodule (_, me, body) ->
+        module_expr ctx me;
+        expr ctx body
+    | Pexp_letexception (_, body) -> expr ctx body
+    | Pexp_pack me -> module_expr ctx me
+    | Pexp_letop { let_; ands; body } ->
+        expr ctx let_.pbop_exp;
+        List.iter (fun b -> expr ctx b.pbop_exp) ands;
+        let ctx' =
+          List.fold_left
+            (fun c b -> bind_pat Binding c b.pbop_pat)
+            (bind_pat Binding ctx let_.pbop_pat)
+            ands
+        in
+        expr ctx' body
+    | Pexp_object _ -> ()
+  and case ctx c =
+    let ctx' = bind_pat Binding ctx c.pc_lhs in
+    Option.iter (expr ctx') c.pc_guard;
+    expr ctx' c.pc_rhs
+  and apply ctx ~line path args =
+    let args' = List.map snd args in
+    let nth i = List.nth_opt args' i in
+    match (path, last2 path) with
+    | _, Some ("Domain", "spawn") ->
+        acc.spawns <- line :: acc.spawns;
+        (match args' with
+        | [ { pexp_desc = Pexp_fun (_, _, pat, body); _ } ] ->
+            expr
+              (bind_pat Binding { ctx with spawn = ctx.spawn + 1 } pat)
+              body
+        | [ ({ pexp_desc = Pexp_ident { txt; _ }; _ } as thunk) ] ->
+            record_call { ctx with spawn = ctx.spawn + 1 } (flatten_lid txt);
+            ignore thunk
+        | _ -> List.iter (expr { ctx with spawn = ctx.spawn + 1 }) args')
+    | _, Some ("Mutex", "protect") -> (
+        match args' with
+        | [ m; { pexp_desc = Pexp_fun (_, _, pat, body); _ } ] ->
+            expr ctx m;
+            expr (bind_pat Binding { ctx with guard = true } pat) body
+        | [ m; ({ pexp_desc = Pexp_ident { txt; _ }; _ } as _thunk) ] ->
+            expr ctx m;
+            record_call { ctx with guard = true } (flatten_lid txt)
+        | _ -> List.iter (expr ctx) args')
+    | _, Some ("DLS", "new_key") when List.mem "Domain" path ->
+        acc.dls_news <- { d_line = line; d_spawn = ctx.spawn } :: acc.dls_news;
+        List.iter (expr ctx) args'
+    | _, Some ("Atomic", ("get" | "set")) ->
+        (match nth 0 with
+        | Some target ->
+            let side =
+              if last2 path = Some ("Atomic", "get") then `Get else `Set
+            in
+            record_atomic ctx ~side ~line target
+        | None -> ());
+        List.iter (expr_skip_target ctx) args'
+    | ( ([ "incr" ] | [ "decr" ] | [ "Stdlib"; "incr" ] | [ "Stdlib"; "decr" ]),
+        _ ) ->
+        (match nth 0 with
+        | Some t -> record_write ctx ~kind:Ref ~line (target_of ctx t)
+        | None -> ());
+        List.iter (expr_skip_target ctx) args'
+    | ([ ":=" ] | [ "Stdlib"; ":=" ]), _ ->
+        (match nth 0 with
+        | Some t -> record_write ctx ~kind:Ref ~line (target_of ctx t)
+        | None -> ());
+        List.iter (expr_skip_target ctx) args'
+    | _, Some key when List.mem_assoc key mutator_table ->
+        let kind, target_idx = List.assoc key mutator_table in
+        (match nth target_idx with
+        | Some t -> record_write ctx ~kind ~line (target_of ctx t)
+        | None -> ());
+        List.iter (expr_skip_target ctx) args'
+    | _ ->
+        record_call ctx path;
+        List.iter (expr ctx) args'
+  (* Walk an argument that served as a write/atomic target: its own subtree
+     still gets scanned (nested calls, index expressions), but a bare ident
+     does not additionally register as a "call" — a written-to location is
+     not an entry into the call graph. *)
+  and expr_skip_target ctx e =
+    match e.pexp_desc with Pexp_ident _ -> () | _ -> expr ctx e
+  and module_expr ctx me =
+    match me.pmod_desc with
+    | Pmod_structure items ->
+        List.iter
+          (fun item ->
+            match item.pstr_desc with
+            | Pstr_value (_, vbs) -> List.iter (fun vb -> expr ctx vb.pvb_expr) vbs
+            | Pstr_eval (e, _) -> expr ctx e
+            | _ -> ())
+          items
+    | Pmod_constraint (me, _) | Pmod_functor (_, me) -> module_expr ctx me
+    | _ -> ()
+  in
+  expr
+
+(* ---- top-level structure ------------------------------------------------- *)
+
+let rec is_function e =
+  match e.pexp_desc with
+  | Pexp_fun _ | Pexp_function _ -> true
+  | Pexp_newtype (_, e) | Pexp_constraint (e, _) -> is_function e
+  | _ -> false
+
+let empty_ctx = { scope = SMap.empty; spawn = 0; guard = false }
+
+let binding_of_vb ~prefix vb =
+  let acc = fresh_acc () in
+  walk acc empty_ctx vb.pvb_expr;
+  let name =
+    match pat_vars vb.pvb_pat with
+    | v :: _ -> v
+    | [] ->
+        Printf.sprintf "_init_%d" vb.pvb_loc.Location.loc_start.Lexing.pos_lnum
+  in
+  {
+    b_name = (if prefix = "" then name else prefix ^ "." ^ name);
+    b_line = vb.pvb_loc.Location.loc_start.Lexing.pos_lnum;
+    b_is_function = is_function vb.pvb_expr;
+    b_alloc =
+      (match alloc_of_rhs vb.pvb_expr with `Alloc k -> Some k | _ -> None);
+    b_spawns = List.rev acc.spawns;
+    b_writes = List.rev acc.writes;
+    b_calls = List.rev acc.calls;
+    b_atomics = List.rev acc.atomics;
+    b_dls_news = List.rev acc.dls_news;
+  }
+
+let rec structure_bindings ~prefix items =
+  List.concat_map
+    (fun item ->
+      match item.pstr_desc with
+      | Pstr_value (_, vbs) -> List.map (binding_of_vb ~prefix) vbs
+      | Pstr_eval (e, _) ->
+          let acc = fresh_acc () in
+          walk acc empty_ctx e;
+          [
+            {
+              b_name =
+                Printf.sprintf "%s_eval_%d"
+                  (if prefix = "" then "" else prefix ^ ".")
+                  item.pstr_loc.Location.loc_start.Lexing.pos_lnum;
+              b_line = item.pstr_loc.Location.loc_start.Lexing.pos_lnum;
+              b_is_function = false;
+              b_alloc = None;
+              b_spawns = List.rev acc.spawns;
+              b_writes = List.rev acc.writes;
+              b_calls = List.rev acc.calls;
+              b_atomics = List.rev acc.atomics;
+              b_dls_news = List.rev acc.dls_news;
+            };
+          ]
+      | Pstr_module mb -> module_bindings ~prefix mb
+      | Pstr_recmodule mbs -> List.concat_map (module_bindings ~prefix) mbs
+      | _ -> [])
+    items
+
+and module_bindings ~prefix mb =
+  let sub =
+    match mb.pmb_name.Location.txt with Some n -> n | None -> "_"
+  in
+  let prefix = if prefix = "" then sub else prefix ^ "." ^ sub in
+  let rec of_mod me =
+    match me.pmod_desc with
+    | Pmod_structure items -> structure_bindings ~prefix items
+    | Pmod_constraint (me, _) | Pmod_functor (_, me) -> of_mod me
+    | _ -> []
+  in
+  of_mod mb.pmb_expr
+
+let file (source : Source.t) =
+  { source; bindings = structure_bindings ~prefix:"" source.Source.structure }

@@ -1,0 +1,84 @@
+(** Per-file fact extraction: one syntactic pass over a parsed source that
+    records, for every top-level binding, the mutable-state operations it
+    performs, the calls it makes, and the [Domain.spawn] regions it opens.
+
+    The pass is context-sensitive in three dimensions the later phases
+    consume:
+
+    - {b spawn depth} — how many [Domain.spawn (fun () -> ...)] closures
+      enclose the operation. Depth [> 0] means the code runs on a spawned
+      domain whenever the spawn site executes.
+    - {b guard} — whether the operation sits lexically inside a
+      [Mutex.protect _ (fun () -> ...)] thunk. Guarded writes are safe; a
+      call made under guard marks its edge, so callees reached {e only}
+      through guarded edges inherit protection (the [record_locked]
+      convention in [lib/obs/span.ml]).
+    - {b scope origin} — where the written location was allocated:
+      fresh mutable allocation in this binding (safe unless it crosses a
+      spawn boundary), [Domain.DLS.get] result (domain-local by
+      construction), an ordinary pattern binding (per-invocation view;
+      aliasing is out of scope, see DESIGN.md §12), a free variable
+      (resolved against the module's top level later), or a qualified path
+      (another module's state). *)
+
+type mutable_kind = Ref | Field | Array_slot | Bytes_slot | Container
+
+type origin =
+  | Local of { kind : mutable_kind option; spawn_depth : int }
+      (** let-bound to a syntactically fresh mutable allocation *)
+  | Dls  (** let-bound to [Domain.DLS.get _] *)
+  | Binding  (** pattern/parameter binding — per-invocation, alias-blind *)
+
+type target =
+  | Var of string * origin  (** ident resolved in the local scope *)
+  | Free of string  (** unqualified ident not in scope: module top level *)
+  | Path of string list  (** qualified [M.x] *)
+  | Complex  (** write through a non-ident base; not tracked *)
+
+type write = {
+  w_kind : mutable_kind;
+  w_target : target;
+  w_line : int;
+  w_spawn : int;  (** spawn depth at the write site *)
+  w_guarded : bool;
+}
+
+type call = {
+  c_path : string list;  (** flattened longident as written *)
+  c_spawn : int;
+  c_guarded : bool;
+}
+
+type atomic_op = {
+  a_side : [ `Get | `Set ];
+  a_target : string;  (** syntactic rendering of the atomic location *)
+  a_line : int;
+  a_spawn : int;
+  a_guarded : bool;
+}
+
+type dls_new = { d_line : int; d_spawn : int }
+
+type binding = {
+  b_name : string;  (** path inside the module, e.g. ["run"] or ["Sub.run"] *)
+  b_line : int;
+  b_is_function : bool;
+      (** syntactically a [fun]: only these propagate reachability — a
+          non-function binding's body runs once, at module init, on the
+          loading domain *)
+  b_alloc : mutable_kind option;
+      (** for top-level [let x = ref ...] and friends: the module-global
+          mutable state free-variable writes resolve to *)
+  b_spawns : int list;  (** lines of [Domain.spawn] sites in this binding *)
+  b_writes : write list;
+  b_calls : call list;
+  b_atomics : atomic_op list;
+  b_dls_news : dls_new list;
+}
+
+type file_facts = { source : Source.t; bindings : binding list }
+
+val file : Source.t -> file_facts
+
+val last2 : string list -> (string * string) option
+(** Last two components of a path, for suffix dispatch. *)

@@ -1,0 +1,30 @@
+(** Source loading for the parallel-safety analyzer: read an [.ml] file,
+    parse it with the compiler's own front end (compiler-libs [Parse]), and
+    scan the raw text for [(* statrace: safe — reason *)] allowlist pragmas.
+
+    The analyzer is purely syntactic — no typing pass — so anything that
+    parses under the project's compiler version is analyzable, including the
+    planted-race fixtures that are never compiled. *)
+
+type t = {
+  path : string;  (** as given on the command line; used in diagnostics *)
+  module_name : string;  (** capitalized basename, the module it compiles to *)
+  structure : Parsetree.structure;
+  pragmas : (int * string) list;
+      (** [(line, reason)] for every [statrace: safe] pragma, 1-based *)
+}
+
+val of_string : path:string -> string -> (t, Diag.t) result
+(** Parse source text. Parse failures come back as a single PAR000 Error
+    diagnostic carrying the failing file/line. *)
+
+val load : string -> (t, Diag.t) result
+(** [of_string] over a file's contents; I/O errors are PAR000 too. *)
+
+val load_dirs : string list -> t list * Diag.t list
+(** Every [.ml] file under the given roots (recursive, [_build] and
+    dot-directories skipped), sorted by path for deterministic output.
+    Returns parsed sources and the PAR000 diagnostics of unparseable ones. *)
+
+val pragma_for : t -> line:int -> (int * string) option
+(** The pragma covering a finding at [line]: same line or the line above. *)

@@ -1,0 +1,13 @@
+(* A real race deliberately suppressed with a pragma: the analyzer must
+   report nothing and count one suppression (and the pragma must not be
+   flagged stale). *)
+
+let debug_probe = ref 0
+
+let run () =
+  let d =
+    Domain.spawn (fun () ->
+        (* statrace: safe — debug-only probe, torn reads acceptable *)
+        incr debug_probe)
+  in
+  Domain.join d

@@ -1,0 +1,32 @@
+(* Every sanctioned pattern in one file; the analyzer must stay silent.
+   Thunk-local accumulators, results handed back through join, Atomic RMW
+   primitives, mutex-guarded shared state (directly and via a callee reached
+   only through the guarded call site), and Domain.DLS. *)
+
+let total = Atomic.make 0
+let log_mu = Mutex.create ()
+let log : string list ref = ref []
+let scratch_key = Domain.DLS.new_key (fun () -> Buffer.create 64)
+
+(* callers hold [log_mu]; reached only through Mutex.protect below *)
+let log_locked line = log := line :: !log
+
+let worker lo hi =
+  let acc = ref 0 in
+  for i = lo to hi - 1 do
+    acc := !acc + i
+  done;
+  ignore (Atomic.fetch_and_add total !acc);
+  Mutex.protect log_mu (fun () -> log_locked "chunk done");
+  let buf = Domain.DLS.get scratch_key in
+  Buffer.clear buf;
+  Buffer.add_string buf "local";
+  !acc
+
+let run n =
+  let results = Array.make 2 0 in
+  let d0 = Domain.spawn (fun () -> worker 0 (n / 2)) in
+  let d1 = Domain.spawn (fun () -> worker (n / 2) n) in
+  results.(0) <- Domain.join d0;
+  results.(1) <- Domain.join d1;
+  results.(0) + results.(1)

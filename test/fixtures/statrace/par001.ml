@@ -1,0 +1,9 @@
+(* Planted race: module-global ref incremented from a spawned domain.
+   Expected: exactly one PAR001 at the [incr] line. *)
+
+let hits = ref 0
+
+let run () =
+  let d = Domain.spawn (fun () -> incr hits) in
+  Domain.join d;
+  !hits

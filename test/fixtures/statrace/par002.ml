@@ -1,0 +1,16 @@
+(* Planted race: mutable record field and a shared Hashtbl, both mutated
+   from a spawned domain. Expected: two PAR002 findings. *)
+
+type counter = { mutable n : int }
+
+let state = { n = 0 }
+let cache : (int, int) Hashtbl.t = Hashtbl.create 16
+
+let run () =
+  let d =
+    Domain.spawn (fun () ->
+        state.n <- state.n + 1;
+        Hashtbl.replace cache 1 state.n)
+  in
+  Domain.join d;
+  state.n

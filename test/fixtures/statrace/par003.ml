@@ -1,0 +1,11 @@
+(* Planted race: all domains write the same slot of a shared array.
+   Expected: exactly one PAR003 at the [slots.(0)] write. *)
+
+let slots = Array.make 8 0
+
+let run () =
+  let ds =
+    List.init 4 (fun i -> Domain.spawn (fun () -> slots.(0) <- i))
+  in
+  List.iter Domain.join ds;
+  slots.(0)

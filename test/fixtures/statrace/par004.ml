@@ -1,0 +1,12 @@
+(* Planted hazard: a Domain.DLS key minted inside the spawned thunk — every
+   execution gets a fresh, unshared slot, so the "domain-local cache" never
+   caches. Expected: exactly one PAR004. *)
+
+let run () =
+  let d =
+    Domain.spawn (fun () ->
+        let key = Domain.DLS.new_key (fun () -> 0) in
+        Domain.DLS.set key 41;
+        Domain.DLS.get key + 1)
+  in
+  Domain.join d

@@ -1,0 +1,12 @@
+(* Planted hazard: read-modify-write split across Atomic.get and Atomic.set
+   — concurrent increments lose updates. Expected: exactly one PAR005 at the
+   Atomic.set. *)
+
+let total = Atomic.make 0
+
+let bump () = Atomic.set total (Atomic.get total + 1)
+
+let run () =
+  let ds = List.init 4 (fun _ -> Domain.spawn bump) in
+  List.iter Domain.join ds;
+  Atomic.get total

@@ -1,0 +1,10 @@
+(* Planted race: the spawn closure writes a mutable local captured from the
+   enclosing scope — shared between parent and child with no protocol.
+   Expected: exactly one PAR006 at the [acc := ...] write. *)
+
+let run () =
+  let acc = ref 0 in
+  let d = Domain.spawn (fun () -> acc := !acc + 1) in
+  acc := !acc + 1;
+  Domain.join d;
+  !acc

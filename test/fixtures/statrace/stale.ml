@@ -1,0 +1,6 @@
+(* A pragma that suppresses nothing: the allowlist itself has gone stale.
+   Expected: exactly one PAR007 at the pragma line. *)
+
+let pure x =
+  (* statrace: safe — this covered a ref write that has since been removed *)
+  x + 1

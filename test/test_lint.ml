@@ -120,6 +120,60 @@ let bench_undef = "INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n"
 let bench_syntax = "INPUT(a)\nOUTPUT(y)\nthis is not bench\ny = NOT(a)\n"
 let bench_gate = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = LATCH(a, b)\n"
 
+(* ---- statrace fixtures (inline sources, parsed, never compiled) --------- *)
+
+let statrace_parse (path, text) =
+  match Statrace.Source.of_string ~path text with
+  | Ok s -> s
+  | Error d -> Alcotest.failf "fixture %s: %s" path (Diag.to_string d)
+
+let statrace_findings texts =
+  (Statrace.Analyze.run (List.map statrace_parse texts))
+    .Statrace.Analyze.findings
+
+let par_ref =
+  ( "par_ref.ml",
+    "let hits = ref 0\n\
+     let run () = Domain.join (Domain.spawn (fun () -> incr hits))\n" )
+
+let par_container =
+  ( "par_container.ml",
+    "let cache = Hashtbl.create 7\n\
+     let run () =\n\
+    \  Domain.join (Domain.spawn (fun () -> Hashtbl.replace cache 1 2))\n" )
+
+let par_array =
+  ( "par_array.ml",
+    "let slots = Array.make 4 0\n\
+     let run () = Domain.join (Domain.spawn (fun () -> slots.(0) <- 1))\n" )
+
+let par_dls =
+  ( "par_dls.ml",
+    "let run () =\n\
+    \  Domain.join\n\
+    \    (Domain.spawn (fun () ->\n\
+    \       let k = Domain.DLS.new_key (fun () -> 0) in\n\
+    \       Domain.DLS.get k))\n" )
+
+let par_rmw =
+  ( "par_rmw.ml",
+    "let total = Atomic.make 0\n\
+     let run () =\n\
+    \  Domain.join\n\
+    \    (Domain.spawn (fun () -> Atomic.set total (Atomic.get total + 1)))\n" )
+
+let par_captured =
+  ( "par_captured.ml",
+    "let run () =\n\
+    \  let acc = ref 0 in\n\
+    \  Domain.join (Domain.spawn (fun () -> acc := 1));\n\
+    \  !acc\n" )
+
+let par_stale =
+  ( "par_stale.ml",
+    "(* statrace: safe — nothing here needs suppressing *)\n\
+     let pure x = x + 1\n" )
+
 (* One (code, thunk) pair per public rule; the coverage test below asserts
    this list spans the whole non-internal catalogue. *)
 let triggers : (string * (unit -> Diag.t list)) list =
@@ -265,6 +319,18 @@ let triggers : (string * (unit -> Diag.t list)) list =
       fun () ->
         let sc = Absint.Statcheck.run ~lib (tiny_circuit ()) in
         Lint.Absint_rules.check_budget_tolerance ~tol:0.0 sc );
+    ( "PAR000",
+      fun () ->
+        match Statrace.Source.of_string ~path:"bad.ml" "let = (" with
+        | Error d -> [ d ]
+        | Ok _ -> [] );
+    ("PAR001", fun () -> statrace_findings [ par_ref ]);
+    ("PAR002", fun () -> statrace_findings [ par_container ]);
+    ("PAR003", fun () -> statrace_findings [ par_array ]);
+    ("PAR004", fun () -> statrace_findings [ par_dls ]);
+    ("PAR005", fun () -> statrace_findings [ par_rmw ]);
+    ("PAR006", fun () -> statrace_findings [ par_captured ]);
+    ("PAR007", fun () -> statrace_findings [ par_stale ]);
   ]
 
 let trigger_tests =
@@ -401,6 +467,32 @@ let registry_unknown_code () =
   match Lint.Registry.of_spec ~overrides:[ "CIRC004=loud" ] () with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "bad severity spec accepted"
+
+(* The PAR pack goes through the same registry and JSON plumbing as every
+   other pack: --disable drops it, --severity remaps it, and Report JSON
+   round-trips the findings. *)
+let registry_par_pack () =
+  let ds = statrace_findings [ par_ref ] in
+  check_has_code ~msg:"before" "PAR001" ds;
+  (match Lint.Registry.of_spec ~disable:[ "PAR001" ] () with
+  | Error e -> Alcotest.failf "disable spec rejected: %s" e
+  | Ok r -> check_true "disabled" (not (has_code "PAR001" (Lint.Registry.apply r ds))));
+  let warn = statrace_findings [ par_rmw ] in
+  check_has_code ~msg:"rmw" "PAR005" warn;
+  (match Lint.Registry.of_spec ~overrides:[ "PAR005=error" ] () with
+  | Error e -> Alcotest.failf "override spec rejected: %s" e
+  | Ok r ->
+      check_true "promoted"
+        (List.exists
+           (fun d ->
+             d.Diag.code = "PAR005" && d.Diag.severity = Diag.Severity.Error)
+           (Lint.Registry.apply r warn)));
+  let json = Lint.Report.to_json [ ("races", ds) ] in
+  match Lint.Report.of_json json with
+  | Error e -> Alcotest.failf "PAR json: %s" e
+  | Ok [ ("races", back) ] ->
+      if back <> ds then Alcotest.fail "PAR findings did not round-trip"
+  | Ok _ -> Alcotest.fail "unexpected report shape"
 
 let registry_of_spec () =
   match
@@ -564,6 +656,7 @@ let () =
           Alcotest.test_case "override" `Quick registry_override;
           Alcotest.test_case "unknown code" `Quick registry_unknown_code;
           Alcotest.test_case "of_spec" `Quick registry_of_spec;
+          Alcotest.test_case "par pack" `Quick registry_par_pack;
         ] );
       ( "json",
         [

@@ -1,0 +1,207 @@
+(* statrace tests: every planted-race fixture yields exactly its expected
+   PAR findings, the sanctioned-patterns fixture stays silent, suppression
+   and staleness both work, and the interprocedural mutex guard holds. *)
+
+(* cwd is test/ under `dune runtest`, the project root under `dune exec` *)
+let fixture_dir =
+  List.find Sys.file_exists
+    [
+      Filename.concat "fixtures" "statrace";
+      Filename.concat "test" (Filename.concat "fixtures" "statrace");
+    ]
+
+let fixture name = Filename.concat fixture_dir name
+
+let load name =
+  match Statrace.Source.load (fixture name) with
+  | Ok s -> s
+  | Error d -> Alcotest.failf "fixture %s: %s" name (Diag.to_string d)
+
+let parse ~path text =
+  match Statrace.Source.of_string ~path text with
+  | Ok s -> s
+  | Error d -> Alcotest.failf "inline %s: %s" path (Diag.to_string d)
+
+let codes (r : Statrace.Analyze.result) =
+  List.map (fun d -> d.Diag.code) r.Statrace.Analyze.findings
+
+let check_codes ~msg expected r =
+  Alcotest.(check (list string)) msg expected (List.sort compare (codes r))
+
+let run_fixtures names = Statrace.Analyze.run (List.map load names)
+
+(* ---- planted races ------------------------------------------------------ *)
+
+let planted () =
+  check_codes ~msg:"par001" [ "PAR001" ] (run_fixtures [ "par001.ml" ]);
+  check_codes ~msg:"par002" [ "PAR002"; "PAR002" ] (run_fixtures [ "par002.ml" ]);
+  check_codes ~msg:"par003" [ "PAR003" ] (run_fixtures [ "par003.ml" ]);
+  check_codes ~msg:"par004" [ "PAR004" ] (run_fixtures [ "par004.ml" ]);
+  check_codes ~msg:"par005" [ "PAR005" ] (run_fixtures [ "par005.ml" ]);
+  check_codes ~msg:"par006" [ "PAR006" ] (run_fixtures [ "par006.ml" ])
+
+let locations_and_severities () =
+  let r = run_fixtures [ "par001.ml" ] in
+  match r.Statrace.Analyze.findings with
+  | [ d ] ->
+      Alcotest.(check string) "code" "PAR001" d.Diag.code;
+      (match d.Diag.severity with
+      | Diag.Severity.Error -> ()
+      | s -> Alcotest.failf "severity %s" (Diag.Severity.to_string s));
+      (match d.Diag.location with
+      | Diag.File { file; line } ->
+          Alcotest.(check string) "file" (fixture "par001.ml") file;
+          Alcotest.(check int) "line of incr" 7 line
+      | _ -> Alcotest.fail "expected file:line location")
+  | ds -> Alcotest.failf "expected 1 finding, got %d" (List.length ds)
+
+(* ---- sanctioned patterns ------------------------------------------------ *)
+
+let clean () =
+  let r = run_fixtures [ "clean.ml" ] in
+  check_codes ~msg:"clean" [] r;
+  Alcotest.(check int) "nothing suppressed" 0 r.Statrace.Analyze.suppressed;
+  Alcotest.(check int) "entry found" 1
+    (List.length r.Statrace.Analyze.entry_points)
+
+let allowed_pragma () =
+  let r = run_fixtures [ "allowed.ml" ] in
+  check_codes ~msg:"suppressed race" [] r;
+  Alcotest.(check int) "one suppression" 1 r.Statrace.Analyze.suppressed
+
+let stale_pragma () =
+  let r = run_fixtures [ "stale.ml" ] in
+  check_codes ~msg:"stale" [ "PAR007" ] r
+
+(* ---- whole-directory run ------------------------------------------------ *)
+
+let full_directory () =
+  let r = Statrace.Analyze.run_dirs [ fixture_dir ] in
+  Alcotest.(check int) "files" 9 r.Statrace.Analyze.files_scanned;
+  Alcotest.(check (list (pair string int)))
+    "histogram"
+    [
+      ("PAR001", 1);
+      ("PAR002", 2);
+      ("PAR003", 1);
+      ("PAR004", 1);
+      ("PAR005", 1);
+      ("PAR006", 1);
+      ("PAR007", 1);
+    ]
+    (Statrace.Analyze.count_by_code r.Statrace.Analyze.findings);
+  Alcotest.(check int) "one suppression" 1 r.Statrace.Analyze.suppressed
+
+(* ---- entry selection ---------------------------------------------------- *)
+
+let entry_filter () =
+  let srcs = List.map load [ "par001.ml"; "par003.ml" ] in
+  let config =
+    { Statrace.Analyze.default_config with entries = [ "Par001.run" ] }
+  in
+  let r = Statrace.Analyze.run ~config srcs in
+  check_codes ~msg:"only par001's entry analyzed" [ "PAR001" ] r
+
+(* ---- allow file --------------------------------------------------------- *)
+
+let allow_file () =
+  let path = Filename.temp_file "statrace" ".allow" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc
+            "# known torn-read probe\n\
+             PAR001 par001.ml:7 debug counter\n\
+             PAR003 nonexistent.ml stale entry\n");
+      match Statrace.Analyze.parse_allow_file path with
+      | Error e -> Alcotest.failf "allow file rejected: %s" e
+      | Ok allow ->
+          let config = { Statrace.Analyze.default_config with allow } in
+          let r =
+            Statrace.Analyze.run ~config (List.map load [ "par001.ml" ])
+          in
+          (* the PAR001 is suppressed; the unmatched entry turns PAR007 *)
+          check_codes ~msg:"suppressed + stale" [ "PAR007" ] r;
+          Alcotest.(check int) "one suppression" 1 r.Statrace.Analyze.suppressed)
+
+let allow_file_rejects_unknown_code () =
+  let path = Filename.temp_file "statrace" ".allow" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc "NOPE001 some/file.ml\n");
+      match Statrace.Analyze.parse_allow_file path with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "unknown code accepted")
+
+(* ---- interprocedural guard ---------------------------------------------- *)
+
+(* the [record_locked] convention: raw writes in a callee reached only
+   through a Mutex.protect thunk are safe ... *)
+let guarded_src =
+  "let mu = Mutex.create ()\n\
+   let n = ref 0\n\
+   let bump_locked () = incr n\n\
+   let bump () = Mutex.protect mu (fun () -> bump_locked ())\n\
+   let run () = Domain.join (Domain.spawn bump)\n"
+
+(* ... but one unguarded path to the same callee re-exposes the race *)
+let leaky_src =
+  "let mu = Mutex.create ()\n\
+   let n = ref 0\n\
+   let bump_locked () = incr n\n\
+   let bump () = Mutex.protect mu (fun () -> bump_locked ())\n\
+   let run () =\n\
+  \  let d = Domain.spawn (fun () -> bump_locked ()) in\n\
+  \  bump ();\n\
+  \  Domain.join d\n"
+
+let guarded_callee () =
+  check_codes ~msg:"guarded only"
+    []
+    (Statrace.Analyze.run [ parse ~path:"guarded.ml" guarded_src ]);
+  check_codes ~msg:"one unguarded path"
+    [ "PAR001" ]
+    (Statrace.Analyze.run [ parse ~path:"leaky.ml" leaky_src ])
+
+(* reachability must not flow through non-function bindings: a module-init
+   expression runs once on the loading domain, before any spawn *)
+let init_not_reachable () =
+  let src =
+    "let n = ref 0\n\
+     let table = (incr n; Array.make 4 0)\n\
+     let run () = Domain.join (Domain.spawn (fun () -> table.(0)))\n"
+  in
+  check_codes ~msg:"module init is sequential" []
+    (Statrace.Analyze.run [ parse ~path:"init.ml" src ])
+
+(* ---- suite -------------------------------------------------------------- *)
+
+let () =
+  Alcotest.run "statrace"
+    [
+      ( "fixtures",
+        [
+          Alcotest.test_case "planted races" `Quick planted;
+          Alcotest.test_case "locations and severities" `Quick
+            locations_and_severities;
+          Alcotest.test_case "clean patterns" `Quick clean;
+          Alcotest.test_case "pragma suppression" `Quick allowed_pragma;
+          Alcotest.test_case "stale pragma" `Quick stale_pragma;
+          Alcotest.test_case "full directory" `Quick full_directory;
+        ] );
+      ( "config",
+        [
+          Alcotest.test_case "entry filter" `Quick entry_filter;
+          Alcotest.test_case "allow file" `Quick allow_file;
+          Alcotest.test_case "allow file unknown code" `Quick
+            allow_file_rejects_unknown_code;
+        ] );
+      ( "interprocedural",
+        [
+          Alcotest.test_case "guarded callee" `Quick guarded_callee;
+          Alcotest.test_case "init not reachable" `Quick init_not_reachable;
+        ] );
+    ]
