@@ -1,0 +1,16 @@
+let () =
+  let src =
+    "let hits = ref 0\n\
+     let handler () = incr hits\n\
+     let handlers : (string, unit -> unit) Hashtbl.t = Hashtbl.create 8\n\
+     let register () = Hashtbl.add handlers \"k\" handler\n\
+     let run () =\n\
+    \  let d = Domain.spawn (fun () -> register ()) in\n\
+    \  Domain.join d\n"
+  in
+  match Statrace.Source.of_string ~path:"probe.ml" src with
+  | Error d -> print_endline (Diag.to_string d)
+  | Ok s ->
+      let r = Statrace.Analyze.run [ s ] in
+      List.iter (fun d -> print_endline (Diag.to_string d)) r.Statrace.Analyze.findings;
+      Printf.printf "findings=%d\n" (List.length r.Statrace.Analyze.findings)
