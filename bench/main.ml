@@ -4,7 +4,7 @@
      dune exec bench/main.exe               -- full reproduction (Table 1 over
                                                the whole suite; takes minutes)
      dune exec bench/main.exe -- --quick    -- small-circuit subset
-     dune exec bench/main.exe -- table1|fig1|fig3|fig4|approx|ablation|micro|incremental|counters|statrace
+     dune exec bench/main.exe -- table1|fig1|fig3|fig4|approx|ablation|micro|incremental|counters|statrace|statflow
 
    --json additionally emits machine-readable BENCH_micro.json /
    BENCH_incremental.json (hand-rolled encoder; no JSON dependency);
@@ -509,6 +509,109 @@ let run_statrace () =
            ])
   end
 
+(* ---- statflow: hot-path hygiene analysis over the project's own sources - *)
+
+(* Companion to the statrace section: cost and findings profile of the
+   allocation/exception/determinism analyzer. Runs with the same flow.allow
+   the @flow gate uses, so `findings` here is the gated view (zero on a
+   shipped tree modulo Info-level notes) and the per-entry allocation
+   summaries are the static complement of the Gc.minor_words budget tests. *)
+let run_statflow () =
+  heading "statflow — allocation/exception/determinism analysis (lib/ + bin/)";
+  let roots =
+    List.find_opt
+      (List.for_all Sys.file_exists)
+      [ [ "lib"; "bin" ]; [ "../lib"; "../bin" ] ]
+    |> Option.value ~default:[]
+  in
+  if roots = [] then Fmt.pr "  sources not found; skipping@."
+  else begin
+    let allow =
+      match List.find_opt Sys.file_exists [ "flow.allow"; "../flow.allow" ] with
+      | None -> []
+      | Some p -> (
+          match Statflow.Analyze.parse_allow_file p with
+          | Ok entries -> entries
+          | Error msg ->
+              Fmt.pr "  allow-file ignored: %s@." msg;
+              [])
+    in
+    let config = { Statflow.Analyze.default_config with allow } in
+    let t0 = Unix.gettimeofday () in
+    let result = Statflow.Analyze.run_dirs ~config roots in
+    let wall_s = Unix.gettimeofday () -. t0 in
+    let histogram =
+      Statflow.Analyze.count_by_code result.Statflow.Analyze.findings
+    in
+    Fmt.pr
+      "  %d files, %d hot + %d det entries, %d findings, %d suppressed \
+       (%.3fs)@."
+      result.Statflow.Analyze.files_scanned
+      (List.length result.Statflow.Analyze.hot_entries)
+      (List.length result.Statflow.Analyze.det_entries)
+      (List.length result.Statflow.Analyze.findings)
+      result.Statflow.Analyze.suppressed wall_s;
+    List.iter
+      (fun (name, c) ->
+        Fmt.pr "  %s: %d bindings, %d allocs (%d in loops)@." name
+          c.Statflow.Analyze.bindings
+          (c.Statflow.Analyze.constructs + c.Statflow.Analyze.closures
+         + c.Statflow.Analyze.builders)
+          c.Statflow.Analyze.in_loop)
+      result.Statflow.Analyze.summaries;
+    List.iter (fun (code, n) -> Fmt.pr "  %-8s %d@." code n) histogram;
+    if json then
+      write_json "BENCH_statflow.json"
+        (Jobj
+           [
+             ("section", Jstr "statflow");
+             ("schema", Jstr "statflow/1");
+             ("roots", Jlist (List.map (fun r -> Jstr r) roots));
+             ("files_scanned", Jint result.Statflow.Analyze.files_scanned);
+             ( "hot_entries",
+               Jlist
+                 (List.map
+                    (fun (name, file, line) ->
+                      Jobj
+                        [
+                          ("name", Jstr name);
+                          ("file", Jstr file);
+                          ("line", Jint line);
+                        ])
+                    result.Statflow.Analyze.hot_entries) );
+             ( "det_entries",
+               Jlist
+                 (List.map
+                    (fun (name, file, line) ->
+                      Jobj
+                        [
+                          ("name", Jstr name);
+                          ("file", Jstr file);
+                          ("line", Jint line);
+                        ])
+                    result.Statflow.Analyze.det_entries) );
+             ( "alloc_summaries",
+               Jlist
+                 (List.map
+                    (fun (name, c) ->
+                      Jobj
+                        [
+                          ("entry", Jstr name);
+                          ("bindings", Jint c.Statflow.Analyze.bindings);
+                          ("constructs", Jint c.Statflow.Analyze.constructs);
+                          ("closures", Jint c.Statflow.Analyze.closures);
+                          ("builders", Jint c.Statflow.Analyze.builders);
+                          ("in_loop", Jint c.Statflow.Analyze.in_loop);
+                        ])
+                    result.Statflow.Analyze.summaries) );
+             ( "findings_by_code",
+               Jobj (List.map (fun (c, n) -> (c, Jint n)) histogram) );
+             ("findings", Jint (List.length result.Statflow.Analyze.findings));
+             ("suppressed", Jint result.Statflow.Analyze.suppressed);
+             ("wall_s", Jnum wall_s);
+           ])
+  end
+
 let () =
   Fmt.pr "statsize paper-reproduction bench%s@."
     (if quick then " (--quick)" else "");
@@ -522,4 +625,5 @@ let () =
   if wants "incremental" then run_incremental ();
   if wants "counters" then run_counters ();
   if wants "statrace" then run_statrace ();
+  if wants "statflow" then run_statflow ();
   Fmt.pr "@.done.@."

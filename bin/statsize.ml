@@ -725,6 +725,133 @@ let races_cmd =
     Term.(const run $ roots_arg $ entry_arg $ allow_file_arg $ format_arg
           $ strict_arg $ disable_arg $ severity_arg)
 
+let flow_cmd =
+  let roots_arg =
+    let doc = "Source roots to scan for .ml files (recursive; _build and \
+               dot-directories skipped). Default: $(b,lib) $(b,bin)." in
+    Arg.(value & pos_all dir [] & info [] ~docv:"ROOT" ~doc)
+  in
+  let entry_arg =
+    Arg.(value & opt_all string []
+         & info [ "entry" ] ~docv:"NAME"
+             ~doc:"Replace $(b,both) built-in entry sets (hot kernels and \
+                   deterministic-result roots) with this binding \
+                   ($(b,Module.binding), bare $(b,binding), or bare \
+                   $(b,Module)). Repeatable.")
+  in
+  let allow_file_arg =
+    Arg.(value & opt (some file) None
+         & info [ "allow-file" ] ~docv:"FILE"
+             ~doc:"Allowlist file: lines of CODE PATH[:LINE] reason. Entries \
+                   that suppress nothing are flagged FLOW007.")
+  in
+  let format_arg =
+    Arg.(value
+         & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+         & info [ "format" ] ~doc:"Output format: $(b,text) or $(b,json).")
+  in
+  let strict_arg =
+    Arg.(value & flag
+         & info [ "strict" ] ~doc:"Exit 3 when warnings are present (errors \
+                                   always exit 1).")
+  in
+  let disable_arg =
+    Arg.(value & opt (list string) []
+         & info [ "disable" ] ~doc:"Comma-separated rule codes to disable.")
+  in
+  let severity_arg =
+    Arg.(value & opt (list string) []
+         & info [ "severity" ]
+             ~doc:"Comma-separated severity overrides, e.g. \
+                   HOT001=error,EXC002=info.")
+  in
+  let die fmt = Fmt.kstr (fun m -> Fmt.epr "statsize flow: %s@." m; exit 2) fmt in
+  let run roots entries allow_file format strict disable overrides =
+    let registry =
+      match Lint.Registry.of_spec ~disable ~overrides () with
+      | Ok r -> r
+      | Error msg -> die "--disable/--severity: %s" msg
+    in
+    let roots = if roots = [] then [ "lib"; "bin" ] else roots in
+    List.iter
+      (fun r -> if not (Sys.file_exists r) then die "no such root %s" r)
+      roots;
+    let allow =
+      match allow_file with
+      | None -> []
+      | Some path -> (
+          match Statflow.Analyze.parse_allow_file path with
+          | Ok a -> a
+          | Error msg -> die "--allow-file: %s" msg)
+    in
+    let result =
+      Statflow.Analyze.run_dirs ~config:{ Statflow.Analyze.entries; allow }
+        roots
+    in
+    let findings = Lint.Registry.apply registry result.Statflow.Analyze.findings in
+    (match format with
+    | `Json -> print_endline (Lint.Report.to_json [ ("flow", findings) ])
+    | `Text ->
+        Fmt.pr
+          "scanned %d files under %s; %d hot entr%s, %d result entr%s:@."
+          result.Statflow.Analyze.files_scanned
+          (String.concat ", " roots)
+          (List.length result.Statflow.Analyze.hot_entries)
+          (if List.length result.Statflow.Analyze.hot_entries = 1 then "y"
+           else "ies")
+          (List.length result.Statflow.Analyze.det_entries)
+          (if List.length result.Statflow.Analyze.det_entries = 1 then "y"
+           else "ies");
+        List.iter
+          (fun (name, file, line) -> Fmt.pr "  hot %s (%s:%d)@." name file line)
+          result.Statflow.Analyze.hot_entries;
+        List.iter
+          (fun (name, file, line) -> Fmt.pr "  det %s (%s:%d)@." name file line)
+          result.Statflow.Analyze.det_entries;
+        List.iter
+          (fun (name, c) ->
+            Fmt.pr
+              "  alloc summary %s: %d bindings, %d constructs, %d closures, \
+               %d builders (%d in loops)@."
+              name c.Statflow.Analyze.bindings c.Statflow.Analyze.constructs
+              c.Statflow.Analyze.closures c.Statflow.Analyze.builders
+              c.Statflow.Analyze.in_loop)
+          result.Statflow.Analyze.summaries;
+        if result.Statflow.Analyze.suppressed > 0 then
+          Fmt.pr "%d finding%s suppressed by pragmas/allowlist@."
+            result.Statflow.Analyze.suppressed
+            (if result.Statflow.Analyze.suppressed = 1 then "" else "s");
+        Fmt.pr "flow:@.%a" Lint.Report.pp findings);
+    exit (Lint.Report.exit_code ~strict findings)
+  in
+  Cmd.v
+    (Cmd.info "flow"
+       ~doc:
+         "Allocation, exception-safety, and determinism static analysis of \
+          the hot paths"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P "Parses every .ml file under the given roots with the \
+               compiler's own front end, roots reachability at the sizer/SSTA \
+               hot kernels and at the deterministic-result entry points, and \
+               classifies three packs: HOT (heap allocation in iteration \
+               contexts on hot paths, plus the boxed-float-return \
+               heuristic), EXC (raises that can skip a resource release; \
+               partial stdlib calls on hot paths), and DET \
+               (order-sensitive Hashtbl traversals, wall-clock reads, and \
+               ambient Random in result-producing code — the static \
+               complement of the serial-vs-parallel bit-exactness gate). \
+               Suppress a reviewed finding with a (* statflow: safe — \
+               reason *) comment on the line or the line above, or with \
+               $(b,--allow-file); stale suppressions are themselves flagged \
+               (FLOW007). Exit codes match $(b,statsize lint): 0 clean or \
+               warnings, 1 errors, 2 usage errors, 3 warnings with \
+               $(b,--strict).";
+         ])
+    Term.(const run $ roots_arg $ entry_arg $ allow_file_arg $ format_arg
+          $ strict_arg $ disable_arg $ severity_arg)
+
 let main =
   let doc = "statistical gate sizing for process-variation tolerance" in
   Cmd.group
@@ -741,7 +868,7 @@ let main =
               summaries) or a Chrome trace_event JSON loadable at \
               chrome://tracing, respectively.";
          ])
-    [ list_cmd; info_cmd; lint_cmd; check_cmd; races_cmd; analyze_cmd; optimize_cmd; paths_cmd; slack_cmd;
+    [ list_cmd; info_cmd; lint_cmd; check_cmd; races_cmd; flow_cmd; analyze_cmd; optimize_cmd; paths_cmd; slack_cmd;
       pca_cmd; rank_cmd; dot_cmd; table1_cmd; fig1_cmd; fig3_cmd; fig4_cmd;
       approx_cmd; ablation_cmd; export_cmd; verilog_cmd; sdf_cmd; power_cmd;
       liberty_cmd ]

@@ -63,10 +63,16 @@ let hamming_corrector ?(name = "sec") ?(style = Native) ~lib ~data_bits () =
   (* syndrome bit j = parity of all positions with bit j set *)
   let syndrome =
     Array.init r (fun j ->
+        (* Sort by codeword position: Hashtbl.fold order is unspecified, and
+           the xor-tree shape (hence gate naming and load topology) must not
+           depend on hash-bucket layout. Found by statsize flow (DET001). *)
         let members =
           Hashtbl.fold
-            (fun p node acc -> if p land (1 lsl j) <> 0 then node :: acc else acc)
+            (fun p node acc ->
+              if p land (1 lsl j) <> 0 then (p, node) :: acc else acc)
             position_node []
+          |> List.sort (fun (a, _) (b, _) -> compare a b)
+          |> List.map snd
         in
         xor_tree bld style members)
   in

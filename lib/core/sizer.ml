@@ -225,6 +225,7 @@ let optimize ?(ignore_lint = false) ?(prune = false) ?(config = default_config)
         Log.warn (fun m -> m "preflight: %a" Diag.pp d))
     findings;
   Lint.Extrapolation.reset lib;
+  (* statflow: safe — feeds runtime_s metadata only, never the sized result *)
   let started = Sys.time () in
   let full_cfg = fullssta_config config in
   let stats_acc = ref (0, 0) in
@@ -412,6 +413,7 @@ let optimize ?(ignore_lint = false) ?(prune = false) ?(config = default_config)
        if total = 0 then Float.nan else float_of_int cutoff_hits /. float_of_int total);
     windows_evaluated = fst !windows;
     windows_skipped = snd !windows;
+    (* statflow: safe — runtime_s is reporting metadata, not a result field *)
     runtime_s = Sys.time () -. started;
   }
 

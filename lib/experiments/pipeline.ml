@@ -21,6 +21,7 @@ let sigma_over_mean (m : Numerics.Clark.moments) =
 let prepare ?(ignore_lint = false) ?(mean_config = Core.Sizer.mean_delay_config)
     ~lib build =
   Obs.Span.with_ "pipeline.prepare" @@ fun () ->
+  (* statflow: safe — prep_runtime_s metadata only *)
   let started = Sys.time () in
   let circuit = build () in
   let _ = Core.Initial_sizing.apply ~lib circuit in
@@ -31,6 +32,7 @@ let prepare ?(ignore_lint = false) ?(mean_config = Core.Sizer.mean_delay_config)
     moments = Ssta.Fullssta.output_moments full;
     area = Netlist.Circuit.total_area circuit;
     gates = Netlist.Circuit.gate_count circuit;
+    (* statflow: safe — prep_runtime_s metadata only *)
     prep_runtime_s = Sys.time () -. started;
   }
 
@@ -51,6 +53,7 @@ type stat_run = {
 let run_alpha ?(ignore_lint = false) ?(recover = true)
     ?(config = Core.Sizer.default_config) ~lib (baseline : baseline) ~alpha =
   Obs.Span.with_ "pipeline.run_alpha" @@ fun () ->
+  (* statflow: safe — runtime_s metadata only *)
   let started = Sys.time () in
   let circuit = Netlist.Circuit.copy baseline.circuit in
   let objective = Core.Objective.create ~alpha in
@@ -82,5 +85,6 @@ let run_alpha ?(ignore_lint = false) ?(recover = true)
     area_change_pct = 100.0 *. (area -. baseline.area) /. baseline.area;
     iterations = List.length res.Core.Sizer.iterations;
     resizes = res.Core.Sizer.total_resizes;
+    (* statflow: safe — runtime_s metadata only *)
     runtime_s = Sys.time () -. started;
   }

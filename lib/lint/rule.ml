@@ -9,6 +9,7 @@ type pack =
   | Bench_pack
   | Abs_pack
   | Par_pack
+  | Flow_pack
 
 type meta = {
   code : string;
@@ -135,6 +136,45 @@ let all =
     mk "PAR007" Par_pack w "stale statrace suppression"
       "a pragma or allow-file entry that suppresses nothing hides future \
        regressions at that site; the allowlist must stay verified";
+    mk "FLOW000" Flow_pack e "unparseable source file"
+      "statflow analyzes the project's own sources; a file the compiler \
+       frontend rejects cannot be certified allocation-lean or deterministic";
+    mk "HOT001" Flow_pack w "construction allocation on a hot path"
+      "tuples, records, variant payloads and list conses minted per trial \
+       turn the sizer's inner loop into GC pressure — the statkern floor \
+       assumes the erf/exp arithmetic dominates, not the minor heap";
+    mk "HOT002" Flow_pack w "closure allocation on a hot path"
+      "a fun literal built per call captures its environment on the heap; \
+       hoist it or take the environment as arguments";
+    mk "HOT003" Flow_pack w "stdlib builder allocation on a hot path"
+      "Array.make/List.map-family calls allocate their full result per \
+       invocation; hot kernels should reuse preallocated scratch instead";
+    mk "HOT004" Flow_pack Diag.Severity.Info "boxed-float return heuristic"
+      "a function whose tail is float arithmetic boxes its result at every \
+       out-of-inline call site; [@inline] or unboxed records avoid it \
+       (heuristic — flambda may already sink the box)";
+    mk "EXC001" Flow_pack e "raise may skip a resource release"
+      "a raise reachable after open_in/Unix.openfile/Mutex.lock in a \
+       Fun.protect-free region leaks the handle or deadlocks the lock on \
+       the exceptional path";
+    mk "EXC002" Flow_pack w "partial stdlib call on a hot path"
+      "List.hd/Option.get/Hashtbl.find raise on the empty case; hot paths \
+       should use total variants (find_opt, pattern matches) so the sizer \
+       cannot die mid-optimization";
+    mk "DET001" Flow_pack e "order-sensitive Hashtbl traversal in a result path"
+      "Hashtbl.fold/iter order is unspecified and seed-dependent; any \
+       result built from it breaks the serial-vs-parallel bit-exactness \
+       statserve gates on, unless the result is immediately sorted";
+    mk "DET002" Flow_pack e "wall-clock read in a result path"
+      "Sys.time/Unix.gettimeofday in result-producing code makes reruns \
+       non-reproducible; clocks belong in the obs layer, not in results";
+    mk "DET003" Flow_pack e "ambient Random in a result path"
+      "the global Random state is shared, unseeded, and (since 5.0) \
+       per-domain; results must draw from an explicit seeded generator \
+       (Random.State or Numerics.Rng)";
+    mk "FLOW007" Flow_pack w "stale statflow suppression"
+      "a pragma or allow-file entry that suppresses nothing hides future \
+       regressions at that site; the allowlist must stay verified";
   ]
 
 let find code = List.find_opt (fun m -> m.code = code) all
@@ -147,6 +187,7 @@ let pack_name = function
   | Bench_pack -> "bench"
   | Abs_pack -> "abstract"
   | Par_pack -> "parallel"
+  | Flow_pack -> "flow"
 
 let pp_meta ppf m =
   Fmt.pf ppf "%s [%s, default %a] %s — %s" m.code (pack_name m.pack)

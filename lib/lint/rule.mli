@@ -10,6 +10,7 @@ type pack =
   | Bench_pack
   | Abs_pack
   | Par_pack
+  | Flow_pack
 
 type meta = {
   code : string;

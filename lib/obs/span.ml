@@ -15,6 +15,7 @@ let events_rev : event list ref = ref []
 let n_events = ref 0
 let dropped_events = ref 0
 let last_ts = ref 0.0
+(* statflow: safe — trace-epoch timestamp; observability only, never a result *)
 let t0 = ref (Unix.gettimeofday ())
 let by_name : (string, summary) Hashtbl.t = Hashtbl.create 32
 
@@ -25,6 +26,7 @@ let max_events = 1_000_000
 (* Per-domain nesting depth, exposed for tests and sanity checks. *)
 let depth_key = Domain.DLS.new_key (fun () -> ref 0)
 
+(* statflow: safe — trace timestamps are observability data, not results *)
 let now_us () = (Unix.gettimeofday () -. !t0) *. 1e6
 
 (* Caller holds [mu]. Clamps the wall clock so the stream is non-decreasing

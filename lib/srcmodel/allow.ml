@@ -1,0 +1,60 @@
+(* Allow-file parsing, shared verbatim between the analyzers: lines of
+   [CODE PATH[:LINE] optional reason], [#] comments, blank lines skipped.
+   Codes are validated against the lint catalogue up front so a typo'd code
+   is a hard error at load time, not a suppression that silently never
+   fires. *)
+
+type entry = {
+  al_code : string;
+  al_file : string;
+  al_line : int;
+  al_origin : string * int;
+}
+
+let parse path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | text ->
+      let entries = ref [] and err = ref None in
+      String.split_on_char '\n' text
+      |> List.iteri (fun i line ->
+             let lineno = i + 1 in
+             let line =
+               match String.index_opt line '#' with
+               | Some j -> String.sub line 0 j
+               | None -> line
+             in
+             match
+               String.split_on_char ' ' (String.trim line)
+               |> List.filter (fun s -> s <> "")
+             with
+             | [] -> ()
+             | code :: target :: _rest when Lint.Rule.mem code ->
+                 let file, al_line =
+                   match String.rindex_opt target ':' with
+                   | Some j -> (
+                       let f = String.sub target 0 j in
+                       let l =
+                         String.sub target (j + 1)
+                           (String.length target - j - 1)
+                       in
+                       match int_of_string_opt l with
+                       | Some n -> (f, n)
+                       | None -> (target, 0))
+                   | None -> (target, 0)
+                 in
+                 entries :=
+                   {
+                     al_code = code;
+                     al_file = file;
+                     al_line;
+                     al_origin = (path, lineno);
+                   }
+                   :: !entries
+             | code :: _ ->
+                 if !err = None then
+                   err :=
+                     Some
+                       (Printf.sprintf "%s:%d: unknown rule code %s" path
+                          lineno code));
+      (match !err with Some e -> Error e | None -> Ok (List.rev !entries))

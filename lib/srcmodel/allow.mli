@@ -1,0 +1,13 @@
+(** Allow-file entries: the out-of-source suppression channel, for findings
+    in code the team cannot annotate (vendored files, generated code). *)
+
+type entry = {
+  al_code : string;
+  al_file : string;  (** suffix-matched against finding paths *)
+  al_line : int;  (** 0 = any line in the file *)
+  al_origin : string * int;  (** allow-file path and line, for staleness *)
+}
+
+val parse : string -> (entry list, string) result
+(** Lines of [CODE PATH[:LINE] optional reason]; [#] comments and blank
+    lines skipped. Unknown codes (not in the lint catalogue) are errors. *)

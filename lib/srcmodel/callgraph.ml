@@ -55,23 +55,37 @@ let resolve t ~current_module path =
 
 let status t ~module_ ~value = Hashtbl.find_opt t.statuses (module_, value)
 
-let compute t ~entries =
+(* Worklist fixpoint over the improvement lattice
+   None -> Guarded_only -> Unguarded (monotone; [Some Unguarded] terminal).
+   What counts as a "guarded" edge is the caller's choice: statrace passes
+   [c_guarded] (Mutex.protect call sites), statflow passes [c_protected]
+   (Fun.protect / try regions) — the demotion rule "one unguarded path
+   demotes the callee" is identical.
+
+   [through_values] selects the propagation policy for non-function
+   bindings. statrace stops at them (their body ran once at module init,
+   before any spawn); statflow flows through them, because a value binding
+   like a closure table ([Iscas_like.suite]) runs its payloads when the hot
+   caller invokes them, not when the module loads.
+
+   One [t] holds one fixpoint: analyzers with different parameters must each
+   [build] their own. *)
+let compute ?(guard_of = fun (c : Scan.call) -> c.Scan.c_guarded)
+    ?(through_values = false) t ~entries =
   let work = Queue.create () in
   let push_callees modu (b : Scan.binding) ~as_guarded =
     List.iter
       (fun (c : Scan.call) ->
-        let g = as_guarded || c.Scan.c_guarded in
+        let g = as_guarded || guard_of c in
         List.iter
           (fun (m', b') -> Queue.add (m', b', g) work)
           (resolve t ~current_module:modu c.Scan.c_path))
       b.Scan.b_calls
   in
-  List.iter
-    (fun (m, b) -> push_callees m b ~as_guarded:false)
-    entries;
+  List.iter (fun (m, b) -> push_callees m b ~as_guarded:false) entries;
   while not (Queue.is_empty work) do
     let m, (b : Scan.binding), guarded = Queue.pop work in
-    if b.Scan.b_is_function then begin
+    if b.Scan.b_is_function || through_values then begin
       let key = (m, b.Scan.b_name) in
       let improved =
         match (Hashtbl.find_opt t.statuses key, guarded) with
@@ -87,3 +101,7 @@ let compute t ~entries =
           push_callees m b ~as_guarded:(st = Guarded_only)
     end
   done
+
+let statuses t =
+  Hashtbl.fold (fun (m, v) st acc -> ((m, v), st) :: acc) t.statuses []
+  |> List.sort compare

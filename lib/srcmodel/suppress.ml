@@ -1,0 +1,102 @@
+(* The allowlist pass both analyzers run after classification: source
+   pragmas first (this tool's namespace only), then allow-file entries, then
+   staleness of the allowlist itself — a suppression that bites nothing is a
+   finding (the tool's [stale_code]), because it means either the underlying
+   issue was fixed and the annotation lingers, or the annotation never
+   covered what its author believed. *)
+
+let severity_of code =
+  match Lint.Rule.find code with
+  | Some m -> m.Lint.Rule.severity
+  | None -> Diag.Severity.Warning
+
+let finding ~code ~file ~line ?hint fmt =
+  Fmt.kstr
+    (fun message ->
+      Diag.make ~code ~severity:(severity_of code)
+        ~loc:(Diag.File { file; line })
+        ?hint message)
+    fmt
+
+let has_suffix ~suffix s =
+  let ls = String.length s and lf = String.length suffix in
+  lf <= ls && String.sub s (ls - lf) lf = suffix
+
+type result = { kept : Diag.t list; suppressed : int; stale : Diag.t list }
+
+let apply ~(tool : Tool.t) ~(sources : Source.t list)
+    ~(allow : Allow.entry list) diags =
+  let used_pragmas : (string * int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let used_allows : (string * int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let source_for file =
+    List.find_opt (fun (s : Source.t) -> s.Source.path = file) sources
+  in
+  let suppressed = ref 0 in
+  let kept =
+    List.filter
+      (fun (d : Diag.t) ->
+        match d.Diag.location with
+        | Diag.File { file; line } ->
+            let by_pragma =
+              match source_for file with
+              | Some src -> (
+                  match Source.pragma_for src ~tool ~line with
+                  | Some (pline, _) ->
+                      Hashtbl.replace used_pragmas (file, pline) ();
+                      true
+                  | None -> false)
+              | None -> false
+            in
+            let by_allow =
+              (not by_pragma)
+              && List.exists
+                   (fun (a : Allow.entry) ->
+                     if
+                       a.Allow.al_code = d.Diag.code
+                       && has_suffix ~suffix:a.Allow.al_file file
+                       && (a.Allow.al_line = 0 || a.Allow.al_line = line)
+                     then begin
+                       Hashtbl.replace used_allows a.Allow.al_origin ();
+                       true
+                     end
+                     else false)
+                   allow
+            in
+            if by_pragma || by_allow then begin
+              incr suppressed;
+              false
+            end
+            else true
+        | _ -> true)
+      diags
+  in
+  let stale =
+    List.concat_map
+      (fun (s : Source.t) ->
+        List.filter_map
+          (fun (line, _) ->
+            if Hashtbl.mem used_pragmas (s.Source.path, line) then None
+            else
+              Some
+                (finding ~code:tool.Tool.stale_code ~file:s.Source.path ~line
+                   ~hint:
+                     "delete the pragma, or re-point it at the line it is \
+                      meant to cover"
+                   "stale %s pragma: it suppresses no finding" tool.Tool.name))
+          (Source.pragmas_for_tool s ~tool))
+      sources
+    @ List.filter_map
+        (fun (a : Allow.entry) ->
+          if Hashtbl.mem used_allows a.Allow.al_origin then None
+          else
+            let file, line = a.Allow.al_origin in
+            Some
+              (finding ~code:tool.Tool.stale_code ~file ~line
+                 ~hint:"delete the entry, or fix its CODE PATH:LINE to match"
+                 "stale allow-file entry: %s %s%s suppresses no finding"
+                 a.Allow.al_code a.Allow.al_file
+                 (if a.Allow.al_line = 0 then ""
+                  else Printf.sprintf ":%d" a.Allow.al_line)))
+        allow
+  in
+  { kept; suppressed = !suppressed; stale }

@@ -1,0 +1,13 @@
+(* Identity of an analyzer built on this library. The pragma marker, the
+   parse-failure code, and the stale-suppression code all derive from it, so
+   two analyzers can suppress findings independently in the same source
+   file: a [(* statrace: safe *)] pragma never silences a statflow finding
+   and vice versa. *)
+
+type t = {
+  name : string;  (** pragma namespace, e.g. ["statrace"] or ["statflow"] *)
+  parse_code : string;  (** diagnostic code for unparseable sources *)
+  stale_code : string;  (** diagnostic code for suppressions that bite nothing *)
+}
+
+let pragma_marker t = "(* " ^ t.name ^ ": safe"

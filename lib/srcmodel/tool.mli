@@ -1,0 +1,15 @@
+(** Identity of an analyzer built on srcmodel: names the pragma namespace
+    and the two bookkeeping diagnostic codes every analyzer needs (parse
+    failure, stale suppression). Passing the tool around — rather than
+    baking one marker in — is what lets statrace and statflow share one
+    parsed source set while keeping their suppressions separate. *)
+
+type t = {
+  name : string;  (** pragma namespace, e.g. ["statrace"] or ["statflow"] *)
+  parse_code : string;  (** diagnostic code for unparseable sources *)
+  stale_code : string;  (** diagnostic code for suppressions that bite nothing *)
+}
+
+val pragma_marker : t -> string
+(** The open-comment form a suppression line must contain:
+    [(* NAME: safe — ... *)] up to the namespace and keyword. *)

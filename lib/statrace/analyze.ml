@@ -1,9 +1,16 @@
 (* Classification pass: reachability-gated mutable-state findings, then the
-   allowlist (source pragmas + allow-file), then staleness of the allowlist
-   itself. Severities come from the lint catalogue so a PAR finding carries
-   exactly what `statsize lint` would assign it. *)
+   shared allowlist pass (source pragmas + allow-file + staleness, in
+   [Srcmodel.Suppress]). Severities come from the lint catalogue so a PAR
+   finding carries exactly what `statsize lint` would assign it. *)
 
-type allow_entry = {
+module Source = Srcmodel.Source
+module Scan = Srcmodel.Scan
+module Callgraph = Srcmodel.Callgraph
+
+let tool =
+  { Srcmodel.Tool.name = "statrace"; parse_code = "PAR000"; stale_code = "PAR007" }
+
+type allow_entry = Srcmodel.Allow.entry = {
   al_code : string;
   al_file : string;
   al_line : int;
@@ -21,74 +28,14 @@ type result = {
   suppressed : int;
 }
 
-let severity_of code =
-  match Lint.Rule.find code with
-  | Some m -> m.Lint.Rule.severity
-  | None -> Diag.Severity.Warning
-
-let finding ~code ~file ~line ?hint fmt =
-  Fmt.kstr
-    (fun message ->
-      Diag.make ~code ~severity:(severity_of code)
-        ~loc:(Diag.File { file; line })
-        ?hint message)
-    fmt
+let finding = Srcmodel.Suppress.finding
 
 let allow_hint =
   "protect with Atomic.t or Mutex.protect, make the state domain-local \
    (Domain.DLS or allocate inside the spawned thunk), or annotate the line \
    with (* statrace: safe — reason *)"
 
-(* ---- allow file ---------------------------------------------------------- *)
-
-let parse_allow_file path =
-  match In_channel.with_open_bin path In_channel.input_all with
-  | exception Sys_error msg -> Error msg
-  | text ->
-      let entries = ref [] and err = ref None in
-      String.split_on_char '\n' text
-      |> List.iteri (fun i line ->
-             let lineno = i + 1 in
-             let line =
-               match String.index_opt line '#' with
-               | Some j -> String.sub line 0 j
-               | None -> line
-             in
-             match
-               String.split_on_char ' ' (String.trim line)
-               |> List.filter (fun s -> s <> "")
-             with
-             | [] -> ()
-             | code :: target :: _rest when Lint.Rule.mem code ->
-                 let file, al_line =
-                   match String.rindex_opt target ':' with
-                   | Some j -> (
-                       let f = String.sub target 0 j in
-                       let l =
-                         String.sub target (j + 1) (String.length target - j - 1)
-                       in
-                       match int_of_string_opt l with
-                       | Some n -> (f, n)
-                       | None -> (target, 0))
-                   | None -> (target, 0)
-                 in
-                 entries :=
-                   {
-                     al_code = code;
-                     al_file = file;
-                     al_line;
-                     al_origin = (path, lineno);
-                   }
-                   :: !entries
-             | code :: _ ->
-                 if !err = None then
-                   err :=
-                     Some
-                       (Printf.sprintf "%s:%d: unknown rule code %s" path
-                          lineno code));
-      (match !err with
-      | Some e -> Error e
-      | None -> Ok (List.rev !entries))
+let parse_allow_file = Srcmodel.Allow.parse
 
 (* ---- entry selection ----------------------------------------------------- *)
 
@@ -202,10 +149,6 @@ let classify_binding graph ~file ~module_ ~is_entry (b : Scan.binding) =
 
 (* ---- driver -------------------------------------------------------------- *)
 
-let has_suffix ~suffix s =
-  let ls = String.length s and lf = String.length suffix in
-  lf <= ls && String.sub s (ls - lf) lf = suffix
-
 let dedupe diags =
   let seen = Hashtbl.create 64 in
   List.filter
@@ -250,77 +193,8 @@ let run ?(config = default_config) sources =
       facts
     |> dedupe
   in
-  (* allowlist: source pragmas first, then allow-file entries *)
-  let used_pragmas : (string * int, unit) Hashtbl.t = Hashtbl.create 16 in
-  let used_allows : (string * int, unit) Hashtbl.t = Hashtbl.create 16 in
-  let source_for file =
-    List.find_opt (fun (s : Source.t) -> s.Source.path = file) sources
-  in
-  let suppressed = ref 0 in
-  let findings =
-    List.filter
-      (fun (d : Diag.t) ->
-        match d.Diag.location with
-        | Diag.File { file; line } ->
-            let by_pragma =
-              match source_for file with
-              | Some src -> (
-                  match Source.pragma_for src ~line with
-                  | Some (pline, _) ->
-                      Hashtbl.replace used_pragmas (file, pline) ();
-                      true
-                  | None -> false)
-              | None -> false
-            in
-            let by_allow =
-              (not by_pragma)
-              && List.exists
-                   (fun a ->
-                     if
-                       a.al_code = d.Diag.code
-                       && has_suffix ~suffix:a.al_file file
-                       && (a.al_line = 0 || a.al_line = line)
-                     then begin
-                       Hashtbl.replace used_allows a.al_origin ();
-                       true
-                     end
-                     else false)
-                   config.allow
-            in
-            if by_pragma || by_allow then begin
-              incr suppressed;
-              false
-            end
-            else true
-        | _ -> true)
-      raw
-  in
-  let stale =
-    List.concat_map
-      (fun (s : Source.t) ->
-        List.filter_map
-          (fun (line, _) ->
-            if Hashtbl.mem used_pragmas (s.Source.path, line) then None
-            else
-              Some
-                (finding ~code:"PAR007" ~file:s.Source.path ~line
-                   ~hint:"delete the pragma, or re-point it at the line it \
-                          is meant to cover"
-                   "stale statrace pragma: it suppresses no finding"))
-          s.Source.pragmas)
-      sources
-    @ List.filter_map
-        (fun a ->
-          if Hashtbl.mem used_allows a.al_origin then None
-          else
-            let file, line = a.al_origin in
-            Some
-              (finding ~code:"PAR007" ~file ~line
-                 ~hint:"delete the entry, or fix its CODE PATH:LINE to match"
-                 "stale allow-file entry: %s %s%s suppresses no finding"
-                 a.al_code a.al_file
-                 (if a.al_line = 0 then "" else Printf.sprintf ":%d" a.al_line)))
-        config.allow
+  let s =
+    Srcmodel.Suppress.apply ~tool ~sources ~allow:config.allow raw
   in
   {
     files_scanned = List.length sources;
@@ -331,12 +205,12 @@ let run ?(config = default_config) sources =
             file,
             match b.Scan.b_spawns with l :: _ -> l | [] -> b.Scan.b_line ))
         entries;
-    findings = Diag.sort (findings @ stale);
-    suppressed = !suppressed;
+    findings = Diag.sort (s.Srcmodel.Suppress.kept @ s.Srcmodel.Suppress.stale);
+    suppressed = s.Srcmodel.Suppress.suppressed;
   }
 
 let run_dirs ?(config = default_config) roots =
-  let sources, parse_errors = Source.load_dirs roots in
+  let sources, parse_errors = Source.load_dirs ~tool roots in
   let r = run ~config sources in
   { r with findings = Diag.sort (parse_errors @ r.findings) }
 

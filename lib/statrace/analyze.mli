@@ -1,4 +1,6 @@
 (** Classification: turn per-file facts + reachability into PAR findings.
+    Parsing, fact extraction, the call graph, and the allowlist machinery
+    live in [Srcmodel]; this module owns only the parallel-safety rules.
 
     Rule pack (catalogue defaults in [Lint.Rule]):
     - {b PAR000} (Error) — unparseable source file.
@@ -27,7 +29,15 @@
     inside the spawned thunk itself. Writes through parameters and complex
     lvalues are out of scope — the alias-analysis caveat in DESIGN.md §12. *)
 
-type allow_entry = {
+module Source = Srcmodel.Source
+module Scan = Srcmodel.Scan
+module Callgraph = Srcmodel.Callgraph
+
+val tool : Srcmodel.Tool.t
+(** [{name = "statrace"; parse_code = "PAR000"; stale_code = "PAR007"}] —
+    pass to [Srcmodel.Source.load_dirs] when loading sources manually. *)
+
+type allow_entry = Srcmodel.Allow.entry = {
   al_code : string;
   al_file : string;  (** suffix-matched against finding paths *)
   al_line : int;  (** 0 = any line in the file *)
@@ -45,8 +55,7 @@ type config = {
 val default_config : config
 
 val parse_allow_file : string -> (allow_entry list, string) result
-(** Lines of [CODE PATH[:LINE] optional reason]; [#] comments and blank
-    lines skipped. *)
+(** [Srcmodel.Allow.parse]. *)
 
 type result = {
   files_scanned : int;
@@ -56,10 +65,11 @@ type result = {
   suppressed : int;  (** findings removed by pragmas/allow entries *)
 }
 
-val run : ?config:config -> Source.t list -> result
+val run : ?config:config -> Srcmodel.Source.t list -> result
 
 val run_dirs : ?config:config -> string list -> result
-(** [Source.load_dirs] + [run]; PAR000 parse failures join the findings. *)
+(** [Srcmodel.Source.load_dirs] + [run]; PAR000 parse failures join the
+    findings. *)
 
 val count_by_code : Diag.t list -> (string * int) list
 (** Sorted per-code histogram, for reports and BENCH_statrace.json. *)

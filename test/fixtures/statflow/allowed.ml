@@ -1,0 +1,9 @@
+(* A pragma-suppressed HOT001: the reason rides in the comment, and the
+   analyzer counts the suppression instead of reporting the finding. *)
+let sink = ref (0, 0)
+
+let run n =
+  for i = 0 to n do
+    (* statflow: safe — probe tuple; fixture exercises suppression *)
+    sink := (i, i)
+  done

@@ -1,0 +1,22 @@
+(* Sanctioned patterns: everything here is hot- or det-reachable and must
+   stay silent — per-call allocation amortizes, the seeded generator is
+   explicit, and the resource region is protected. *)
+
+(* the exceptional path cannot skip the close: Fun.protect guards it *)
+let first_line path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> match input_line ic with "" -> failwith "empty" | l -> l)
+
+let run xs =
+  (* one buffer per call, filled in place: allocation amortizes *)
+  let buf = Array.make 16 0 in
+  List.iteri (fun i x -> if i < 16 then buf.(i) <- x) xs;
+  let total = ref 0 in
+  Array.iter (fun v -> total := !total + v) buf;
+  (* explicit seeded generator, not the ambient PRNG *)
+  let st = Random.State.make [| 7 |] in
+  total := !total + Random.State.int st 3;
+  ignore (first_line "/dev/null");
+  !total

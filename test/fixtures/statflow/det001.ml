@@ -1,0 +1,5 @@
+(* planted DET001: an unsorted Hashtbl.fold in result-producing code —
+   iteration order is unspecified and seed-dependent *)
+let tbl : (int, int) Hashtbl.t = Hashtbl.create 8
+
+let run () = Hashtbl.fold (fun k v acc -> acc + (k * v)) tbl 0

@@ -1,0 +1,2 @@
+(* planted DET002: a wall-clock read feeding the result *)
+let run () = int_of_float (Sys.time () *. 1000.0)

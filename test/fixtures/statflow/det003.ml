@@ -1,0 +1,3 @@
+(* planted DET003: the ambient PRNG in result-producing code — two runs
+   of the same input disagree unless the global seed is pinned everywhere *)
+let run n = Random.int n

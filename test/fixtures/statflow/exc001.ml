@@ -1,0 +1,8 @@
+(* planted EXC001: a raise between the acquisition and the release, with
+   no Fun.protect — the exceptional path leaks the channel *)
+let run path =
+  let ic = open_in path in
+  let line = input_line ic in
+  if line = "" then failwith "empty";
+  close_in ic;
+  line

@@ -1,0 +1,3 @@
+(* planted EXC002: a partial stdlib call on the hot path — raises on the
+   empty case the type system cannot rule out *)
+let run xs = List.hd xs + 1

@@ -1,0 +1,8 @@
+(* planted HOT001: a tuple constructed on every loop iteration of a hot
+   binding — per-element construction is GC pressure, not amortized setup *)
+let sink = ref (0, 0)
+
+let run n =
+  for i = 0 to n do
+    sink := (i, i)
+  done

@@ -1,0 +1,8 @@
+(* planted HOT002: a closure allocated on every loop iteration — the
+   capture of [i] forces a fresh block each time around *)
+let sink = ref (fun () -> 0)
+
+let run n =
+  for i = 0 to n do
+    sink := (fun () -> i)
+  done

@@ -1,0 +1,9 @@
+(* planted HOT003: a stdlib builder allocating its result inside the loop
+   — the buffer should be hoisted and filled in place *)
+let run n =
+  let total = ref 0 in
+  for i = 1 to n do
+    let row = Array.make i 0 in
+    total := !total + Array.length row
+  done;
+  !total

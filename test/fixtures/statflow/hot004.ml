@@ -1,0 +1,3 @@
+(* planted HOT004 (Info): the hot binding's tail is float arithmetic, so
+   its result boxes at every out-of-inline call site *)
+let run x = (x *. 2.0) +. 1.0

@@ -1,0 +1,5 @@
+(* A pragma that suppresses nothing: statflow must report it as FLOW007
+   instead of letting it rot in place. *)
+
+(* statflow: safe — nothing below allocates in a loop *)
+let run n = n + 1

@@ -123,7 +123,7 @@ let bench_gate = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = LATCH(a, b)\n"
 (* ---- statrace fixtures (inline sources, parsed, never compiled) --------- *)
 
 let statrace_parse (path, text) =
-  match Statrace.Source.of_string ~path text with
+  match Srcmodel.Source.of_string ~tool:Statrace.Analyze.tool ~path text with
   | Ok s -> s
   | Error d -> Alcotest.failf "fixture %s: %s" path (Diag.to_string d)
 
@@ -173,6 +173,59 @@ let par_stale =
   ( "par_stale.ml",
     "(* statrace: safe — nothing here needs suppressing *)\n\
      let pure x = x + 1\n" )
+
+(* ---- statflow fixtures (inline sources, parsed, never compiled) --------- *)
+
+let statflow_parse (path, text) =
+  match Srcmodel.Source.of_string ~tool:Statflow.Analyze.tool ~path text with
+  | Ok s -> s
+  | Error d -> Alcotest.failf "fixture %s: %s" path (Diag.to_string d)
+
+let statflow_findings texts =
+  let config =
+    { Statflow.Analyze.default_config with entries = [ "run" ] }
+  in
+  (Statflow.Analyze.run ~config (List.map statflow_parse texts))
+    .Statflow.Analyze.findings
+
+let flow_construct =
+  ( "flow_construct.ml",
+    "let sink = ref (0, 0)\nlet run n = for i = 0 to n do sink := (i, i) done\n"
+  )
+
+let flow_closure =
+  ( "flow_closure.ml",
+    "let sink = ref (fun () -> 0)\n\
+     let run n = for i = 0 to n do sink := (fun () -> i) done\n" )
+
+let flow_builder =
+  ( "flow_builder.ml",
+    "let run n = for i = 1 to n do ignore (Array.make i 0) done\n" )
+
+let flow_boxed = ("flow_boxed.ml", "let run x = (x *. 2.0) +. 1.0\n")
+
+let flow_leak =
+  ( "flow_leak.ml",
+    "let run p =\n\
+    \  let ic = open_in p in\n\
+    \  if input_line ic = \"\" then failwith \"empty\";\n\
+    \  close_in ic\n" )
+
+let flow_partial = ("flow_partial.ml", "let run xs = List.hd xs + 1\n")
+
+let flow_hash =
+  ( "flow_hash.ml",
+    "let tbl = Hashtbl.create 7\n\
+     let run () = Hashtbl.fold (fun k v acc -> acc + (k * v)) tbl 0\n" )
+
+let flow_clock = ("flow_clock.ml", "let run () = Sys.time () > 0.0\n")
+
+let flow_rand = ("flow_rand.ml", "let run n = Random.int n\n")
+
+let flow_stale =
+  ( "flow_stale.ml",
+    "(* statflow: safe — nothing here needs suppressing *)\n\
+     let run x = x + 1\n" )
 
 (* One (code, thunk) pair per public rule; the coverage test below asserts
    this list spans the whole non-internal catalogue. *)
@@ -321,7 +374,7 @@ let triggers : (string * (unit -> Diag.t list)) list =
         Lint.Absint_rules.check_budget_tolerance ~tol:0.0 sc );
     ( "PAR000",
       fun () ->
-        match Statrace.Source.of_string ~path:"bad.ml" "let = (" with
+        match Srcmodel.Source.of_string ~tool:Statrace.Analyze.tool ~path:"bad.ml" "let = (" with
         | Error d -> [ d ]
         | Ok _ -> [] );
     ("PAR001", fun () -> statrace_findings [ par_ref ]);
@@ -331,6 +384,24 @@ let triggers : (string * (unit -> Diag.t list)) list =
     ("PAR005", fun () -> statrace_findings [ par_rmw ]);
     ("PAR006", fun () -> statrace_findings [ par_captured ]);
     ("PAR007", fun () -> statrace_findings [ par_stale ]);
+    ( "FLOW000",
+      fun () ->
+        match
+          Srcmodel.Source.of_string ~tool:Statflow.Analyze.tool ~path:"bad.ml"
+            "let = ("
+        with
+        | Error d -> [ d ]
+        | Ok _ -> [] );
+    ("HOT001", fun () -> statflow_findings [ flow_construct ]);
+    ("HOT002", fun () -> statflow_findings [ flow_closure ]);
+    ("HOT003", fun () -> statflow_findings [ flow_builder ]);
+    ("HOT004", fun () -> statflow_findings [ flow_boxed ]);
+    ("EXC001", fun () -> statflow_findings [ flow_leak ]);
+    ("EXC002", fun () -> statflow_findings [ flow_partial ]);
+    ("DET001", fun () -> statflow_findings [ flow_hash ]);
+    ("DET002", fun () -> statflow_findings [ flow_clock ]);
+    ("DET003", fun () -> statflow_findings [ flow_rand ]);
+    ("FLOW007", fun () -> statflow_findings [ flow_stale ]);
   ]
 
 let trigger_tests =

@@ -1,0 +1,279 @@
+(* srcmodel tests: the machinery statrace and statflow share. The centerpiece
+   is a randomized property for the call-graph fixpoint — random module DAGs
+   checked against an independent reference model of guarded reachability —
+   plus unit coverage for tool-namespaced pragmas and allow-file parsing. *)
+
+open Test_util
+
+(* a synthetic tool namespace: proves the plumbing is genuinely
+   parameterized, not hardwired to the two real analyzers *)
+let tool =
+  { Srcmodel.Tool.name = "testtool"; parse_code = "PAR000"; stale_code = "PAR007" }
+
+let parse ~path text =
+  match Srcmodel.Source.of_string ~tool ~path text with
+  | Ok s -> s
+  | Error d -> Alcotest.failf "parse %s: %s" path (Diag.to_string d)
+
+(* ---- random DAGs checked against a reference model ----------------------- *)
+
+(* Nodes 0..k-1, edges strictly i -> j with i < j (so the graph is a DAG by
+   construction), each edge optionally guarded (wrapped in Fun.protect).
+   Node 0 is the entry. [funs.(i)] = false renders node i as a value
+   binding — a tuple mentioning its callees — whose edges are never
+   guarded. *)
+type dag = { k : int; edges : (int * int * bool) list; funs : bool array }
+
+let print_dag d =
+  Printf.sprintf "k=%d funs=[%s] edges=[%s]" d.k
+    (String.concat ""
+       (List.init d.k (fun i -> if d.funs.(i) then "F" else "V")))
+    (String.concat "; "
+       (List.map
+          (fun (i, j, g) ->
+            Printf.sprintf "%d->%d%s" i j (if g then "!" else ""))
+          d.edges))
+
+let dag_gen ~mixed =
+  let open QCheck.Gen in
+  int_range 2 9 >>= fun k ->
+  let pairs =
+    List.concat
+      (List.init k (fun i -> List.init (k - i - 1) (fun d -> (i, i + 1 + d))))
+  in
+  list_repeat (List.length pairs) (pair (int_bound 2) bool) >>= fun flags ->
+  list_repeat k (int_bound 9) >>= fun kind_rolls ->
+  let funs =
+    Array.of_list
+      (List.mapi (fun i r -> i = 0 || (not mixed) || r < 7) kind_rolls)
+  in
+  let edges =
+    List.concat
+      (List.map2
+         (fun (i, j) (present, guarded) ->
+           if present = 0 then [ (i, j, guarded && funs.(i)) ] else [])
+         pairs flags)
+  in
+  return { k; edges; funs }
+
+let dag_arbitrary ~mixed = QCheck.make ~print:print_dag (dag_gen ~mixed)
+
+(* Render the DAG as one parseable module. Scoping does not matter — the
+   analyzers parse without typechecking, and call-graph resolution is
+   whole-file — so nodes are emitted in index order. *)
+let source_of_dag d =
+  let buf = Buffer.create 256 in
+  for i = 0 to d.k - 1 do
+    let out = List.filter (fun (s, _, _) -> s = i) d.edges in
+    if d.funs.(i) then begin
+      let calls =
+        List.map
+          (fun (_, j, g) ->
+            if g then
+              Printf.sprintf
+                "Fun.protect ~finally:(fun () -> ()) (fun () -> ignore (f%d \
+                 ()))"
+                j
+            else Printf.sprintf "ignore (f%d ())" j)
+          out
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "let f%d () = %s\n" i
+           (if calls = [] then "()" else String.concat "; " calls))
+    end
+    else
+      Buffer.add_string buf
+        (Printf.sprintf "let f%d = (%s0)\n" i
+           (String.concat ""
+              (List.map (fun (_, j, _) -> Printf.sprintf "f%d, " j) out)))
+  done;
+  Buffer.contents buf
+
+(* Reference model, computed independently of the fixpoint: node j is
+   reachable when some path from the entry's callees leads to it, and
+   Unguarded when at least one such path crosses no guarded edge — one
+   unguarded path demotes. [through_values = false] stops propagation at
+   value bindings and assigns them no status at all. *)
+let expected_statuses d ~through_values =
+  let reach = Array.make d.k false and unguarded = Array.make d.k false in
+  for i = 0 to d.k - 1 do
+    let is_source = i = 0 || reach.(i) in
+    let flows = i = 0 || d.funs.(i) || through_values in
+    if is_source && flows then
+      List.iter
+        (fun (s, j, g) ->
+          if s = i then begin
+            reach.(j) <- true;
+            if (i = 0 || unguarded.(i)) && not g then unguarded.(j) <- true
+          end)
+        d.edges
+  done;
+  List.concat
+    (List.init d.k (fun j ->
+         if j = 0 || not reach.(j) then []
+         else if not (d.funs.(j) || through_values) then []
+         else
+           [
+             ( ("Dag", Printf.sprintf "f%d" j),
+               if unguarded.(j) then Srcmodel.Callgraph.Unguarded
+               else Srcmodel.Callgraph.Guarded_only );
+           ]))
+
+let computed_statuses d ~through_values =
+  let src = parse ~path:"dag.ml" (source_of_dag d) in
+  let facts = [ Srcmodel.Scan.file src ] in
+  let g = Srcmodel.Callgraph.build facts in
+  let entries =
+    Srcmodel.Callgraph.toplevel g ~module_:"Dag" ~value:"f0"
+    |> List.map (fun b -> ("Dag", b))
+  in
+  let compute () =
+    Srcmodel.Callgraph.compute g
+      ~guard_of:(fun c -> c.Srcmodel.Scan.c_protected)
+      ~through_values ~entries
+  in
+  compute ();
+  let first = Srcmodel.Callgraph.statuses g in
+  (* the fixpoint must be idempotent: recomputing on a saturated graph
+     changes nothing *)
+  compute ();
+  Alcotest.(check bool)
+    "idempotent" true
+    (first = Srcmodel.Callgraph.statuses g);
+  first
+
+let prop_fixpoint_matches_reference =
+  qcheck ~count:150 "fixpoint = reference model (functions only)"
+    (dag_arbitrary ~mixed:false) (fun d ->
+      computed_statuses d ~through_values:false
+      = expected_statuses d ~through_values:false)
+
+let prop_through_values =
+  qcheck ~count:150 "through_values propagates exactly through value nodes"
+    (dag_arbitrary ~mixed:true) (fun d ->
+      computed_statuses d ~through_values:true
+      = expected_statuses d ~through_values:true
+      && computed_statuses d ~through_values:false
+         = expected_statuses d ~through_values:false)
+
+(* the canonical demotion shape, as a deterministic anchor for the property:
+   a guarded path and an unguarded path to the same callee *)
+let demotion () =
+  let both =
+    { k = 3; edges = [ (0, 1, true); (0, 2, false); (2, 1, false) ];
+      funs = [| true; true; true |] }
+  in
+  let guarded_only =
+    { both with edges = [ (0, 1, true); (0, 2, false) ] }
+  in
+  (match
+     List.assoc_opt ("Dag", "f1") (computed_statuses both ~through_values:false)
+   with
+  | Some Srcmodel.Callgraph.Unguarded -> ()
+  | st ->
+      Alcotest.failf "expected Unguarded, got %s"
+        (match st with
+        | Some Srcmodel.Callgraph.Guarded_only -> "Guarded_only"
+        | Some Srcmodel.Callgraph.Unguarded -> "Unguarded"
+        | None -> "unreached"));
+  match
+    List.assoc_opt ("Dag", "f1")
+      (computed_statuses guarded_only ~through_values:false)
+  with
+  | Some Srcmodel.Callgraph.Guarded_only -> ()
+  | _ -> Alcotest.fail "expected Guarded_only when every path is protected"
+
+(* ---- tool-namespaced pragmas --------------------------------------------- *)
+
+let other =
+  { Srcmodel.Tool.name = "othertool"; parse_code = "PAR000"; stale_code = "PAR007" }
+
+let pragma_namespaces () =
+  let text =
+    "(* testtool: safe — mine *)\n\
+     let a = 1\n\
+     (* othertool: safe — not mine *)\n\
+     let b = 2\n"
+  in
+  match
+    Srcmodel.Source.of_string ~tool ~tools:[ tool; other ] ~path:"p.ml" text
+  with
+  | Error d -> Alcotest.failf "parse: %s" (Diag.to_string d)
+  | Ok s ->
+      check_int "testtool sees one" 1
+        (List.length (Srcmodel.Source.pragmas_for_tool s ~tool));
+      check_int "othertool sees one" 1
+        (List.length (Srcmodel.Source.pragmas_for_tool s ~tool:other));
+      check_true "covers its own line and the next"
+        (Srcmodel.Source.pragma_for s ~tool ~line:2 <> None);
+      check_true "does not cover the other tool's line"
+        (Srcmodel.Source.pragma_for s ~tool ~line:4 = None);
+      (* tools not in the scan set are simply not collected *)
+      let solo = parse ~path:"p.ml" text in
+      check_int "default scan set is [tool]" 1
+        (List.length solo.Srcmodel.Source.pragmas)
+
+let pragma_reason_text () =
+  let s = parse ~path:"r.ml" "(* testtool: safe — the reason *)\nlet a = 1\n" in
+  match Srcmodel.Source.pragmas_for_tool s ~tool with
+  | [ (1, reason) ] ->
+      check_true "reason text survives"
+        (String.length reason > 0
+        && String.length reason >= String.length "the reason")
+  | ps -> Alcotest.failf "expected 1 pragma, got %d" (List.length ps)
+
+(* ---- allow-file parsing -------------------------------------------------- *)
+
+let allow_parse () =
+  let path = Filename.temp_file "srcmodel" ".allow" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc
+            "# header comment\n\n\
+             PAR001 lib/foo.ml:12 torn read, reviewed\n\
+             PAR003 lib/bar.ml whole-file waiver # trailing comment\n");
+      match Srcmodel.Allow.parse path with
+      | Error e -> Alcotest.failf "rejected: %s" e
+      | Ok [ a; b ] ->
+          Alcotest.(check string) "code" "PAR001" a.Srcmodel.Allow.al_code;
+          Alcotest.(check string) "file" "lib/foo.ml" a.Srcmodel.Allow.al_file;
+          check_int "line" 12 a.Srcmodel.Allow.al_line;
+          check_int "origin line" 3 (snd a.Srcmodel.Allow.al_origin);
+          check_int "no line = whole file" 0 b.Srcmodel.Allow.al_line
+      | Ok es -> Alcotest.failf "expected 2 entries, got %d" (List.length es))
+
+let allow_rejects_unknown () =
+  let path = Filename.temp_file "srcmodel" ".allow" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc "BOGUS9 lib/foo.ml\n");
+      match Srcmodel.Allow.parse path with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "unknown code accepted")
+
+(* ---- suite --------------------------------------------------------------- *)
+
+let () =
+  Alcotest.run "srcmodel"
+    [
+      ( "callgraph",
+        [
+          prop_fixpoint_matches_reference;
+          prop_through_values;
+          Alcotest.test_case "one unguarded path demotes" `Quick demotion;
+        ] );
+      ( "pragmas",
+        [
+          Alcotest.test_case "tool namespaces" `Quick pragma_namespaces;
+          Alcotest.test_case "reason text" `Quick pragma_reason_text;
+        ] );
+      ( "allow",
+        [
+          Alcotest.test_case "parse" `Quick allow_parse;
+          Alcotest.test_case "unknown code" `Quick allow_rejects_unknown;
+        ] );
+    ]

@@ -13,12 +13,12 @@ let fixture_dir =
 let fixture name = Filename.concat fixture_dir name
 
 let load name =
-  match Statrace.Source.load (fixture name) with
+  match Srcmodel.Source.load ~tool:Statrace.Analyze.tool (fixture name) with
   | Ok s -> s
   | Error d -> Alcotest.failf "fixture %s: %s" name (Diag.to_string d)
 
 let parse ~path text =
-  match Statrace.Source.of_string ~path text with
+  match Srcmodel.Source.of_string ~tool:Statrace.Analyze.tool ~path text with
   | Ok s -> s
   | Error d -> Alcotest.failf "inline %s: %s" path (Diag.to_string d)
 
