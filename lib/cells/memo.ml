@@ -1,0 +1,102 @@
+(* Generation-stamped memo cache for exact-repeat arc evaluations.
+
+   The sizer's hill climb re-times the same neighbourhoods over and over:
+   across consecutive iterations most (cell, input-slew, load) operating
+   points repeat exactly (floats and all), because a trial only perturbs
+   timing inside one window while everything else resettles to identical
+   values. A (delay, output-slew) pair for an exact-repeat point can
+   therefore be served from a cache with zero accuracy loss — the memo is
+   a pure-function cache, never an approximation, so exact-mode sizings
+   stay bit-identical with it on or off.
+
+   Layout: a direct-mapped open-addressing table over parallel arrays
+   (flat float payloads, no per-entry allocation). A slot is verified by
+   physical equality on the stored [Cell.t] plus float equality on the
+   operating point — collisions can only serve wrong data if two live
+   cells were physically equal, which they are not (the library constructs
+   each cell record once). Eviction is overwrite-on-miss, which keeps the
+   policy deterministic so the statobs hit/miss counters are CI-gateable.
+
+   Invalidation: [reset] bumps a generation stamp, an O(1) whole-cache
+   clear used when a caller cannot rule out stale reuse (e.g. a library
+   swap). Because the cached function is pure there is no within-run
+   staleness to manage.
+
+   Thread-safety: none — a memo is single-owner scratch, one per timing
+   engine instance, like the engine's other scratch arrays. *)
+
+type t = {
+  mask : int; (* capacity - 1; capacity is a power of two *)
+  cells : Cell.t option array;
+  slews : float array;
+  loads : float array;
+  d_out : float array; (* cached delay *)
+  s_out : float array; (* cached output slew *)
+  gens : int array; (* slot live iff gens.(i) = gen *)
+  mutable gen : int;
+}
+
+let c_hits = Obs.Counters.make "cells.memo.hits"
+let c_misses = Obs.Counters.make "cells.memo.misses"
+
+let create ?(bits = 15) () =
+  if bits < 4 || bits > 24 then invalid_arg "Memo.create: bits out of range";
+  let n = 1 lsl bits in
+  {
+    mask = n - 1;
+    cells = Array.make n None;
+    slews = Array.make n 0.0;
+    loads = Array.make n 0.0;
+    d_out = Array.make n 0.0;
+    s_out = Array.make n 0.0;
+    gens = Array.make n 0;
+    gen = 1;
+  }
+
+let reset t = t.gen <- t.gen + 1
+
+(* Hash of the cell identity, hoisted out of the per-fanin probe: a node
+   evaluation probes once per fanin arc with the SAME cell, so callers
+   compute this once per node. Deterministic across runs (string hash of
+   the cell name), which keeps the hit/miss counters gateable. *)
+let cell_hash cell = Hashtbl.hash (Cell.name cell)
+
+(* Mix the operating point into the slot index. Multiplicative mixing of
+   the raw float bit patterns; the exact constants only affect collision
+   rates, not correctness (slots are verified before use). *)
+let[@inline] slot t h ~slew ~load =
+  let hs = Int64.to_int (Int64.bits_of_float slew) in
+  let hl = Int64.to_int (Int64.bits_of_float load) in
+  let m = ((h * 0x9e3779b1) lxor (hs * 0x85ebca77) lxor (hl * 0xc2b2ae35)) in
+  (m lxor (m lsr 16)) land t.mask
+
+(* Serve (delay, output-slew) for an exact-repeat point, or compute via the
+   fused [Cell.query2] and install. The float equality below is exact bit
+   comparison in effect: operating points either repeat exactly (cache
+   applies) or differ (recompute) — there is no tolerance, by design. *)
+let query2 t cell ~hash ~slew ~load =
+  let i = slot t hash ~slew ~load in
+  if
+    t.gens.(i) = t.gen
+    && t.slews.(i) = slew
+    && t.loads.(i) = load
+    &&
+    match t.cells.(i) with Some c -> c == cell | None -> false
+  then begin
+    Obs.Counters.bump c_hits;
+    (t.d_out.(i), t.s_out.(i))
+  end
+  else begin
+    Obs.Counters.bump c_misses;
+    let (d, s) = Cell.query2 cell ~slew ~load in
+    t.cells.(i) <- Some cell;
+    t.slews.(i) <- slew;
+    t.loads.(i) <- load;
+    t.d_out.(i) <- d;
+    t.s_out.(i) <- s;
+    t.gens.(i) <- t.gen;
+    (d, s)
+  end
+
+let hits () = Obs.Counters.read c_hits
+let misses () = Obs.Counters.read c_misses

@@ -1,0 +1,34 @@
+(** Generation-stamped memo cache for exact-repeat (cell, slew, load) arc
+    evaluations — a pure-function cache over the fused {!Cell.query2}, so
+    it is bit-transparent: results with the memo on are identical to
+    results with it off, in every regime.
+
+    Direct-mapped over parallel flat arrays; slots are verified by physical
+    equality on the stored cell and exact float equality on the operating
+    point, and evicted by overwrite, so behaviour (and the statobs
+    [cells.memo.hits]/[cells.memo.misses] counters) is deterministic.
+    Single-owner scratch: one instance per timing engine, never shared
+    across domains. *)
+
+type t
+
+val create : ?bits:int -> unit -> t
+(** A cache with [2^bits] slots (default [15] → 32768 slots ≈ 1.3 MB).
+    Raises outside [4..24]. *)
+
+val reset : t -> unit
+(** O(1) whole-cache invalidation (generation bump). The cached function is
+    pure, so this is only needed when cell records themselves could be
+    recycled (e.g. library swap) — not between sizing iterations. *)
+
+val cell_hash : Cell.t -> int
+(** Deterministic hash of the cell identity; hoist one call per node, then
+    probe once per fanin with it. *)
+
+val query2 : t -> Cell.t -> hash:int -> slew:float -> load:float -> float * float
+(** [(delay, output slew)] at the operating point — from cache on an
+    exact repeat, else computed through {!Cell.query2} and installed.
+    [hash] must be [cell_hash] of the same cell. *)
+
+val hits : unit -> int
+val misses : unit -> int

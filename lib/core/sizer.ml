@@ -59,6 +59,12 @@ type config = {
   electrical : Sta.Electrical.config;
   incremental : bool; (* dirty-cone engines instead of per-iteration rebuilds *)
   paranoid : bool; (* cross-check every incremental update against scratch *)
+  fused_kernels : bool;
+      (* statkern fused/batched LUT-erf kernels — bit-identical results,
+         [false] keeps the scalar reference engine (benchmark baseline) *)
+  tolerance : float;
+      (* > 0 opts window verdicts into the ε-certified quadratic-Φ regime
+         (requires [fused_kernels]); 0 = exact scoring everywhere *)
 }
 
 let default_config =
@@ -78,6 +84,8 @@ let default_config =
     electrical = Sta.Electrical.default_config;
     incremental = true;
     paranoid = false;
+    fused_kernels = true;
+    tolerance = 0.0;
   }
 
 (* The "Original" baseline: pure mean delay, with a small per-move gain
@@ -276,8 +284,9 @@ let optimize ?(ignore_lint = false) ?(prune = false) ?(config = default_config)
   in
   let make_window full =
     Window.create ~mode:config.evaluation ~incremental:config.incremental
-      ~area_weight:config.area_weight ~circuit ~model:config.model
-      ~objective:config.objective ~full ()
+      ~area_weight:config.area_weight ~fused:config.fused_kernels
+      ~tolerance:config.tolerance ~move_threshold:config.move_threshold
+      ~circuit ~model:config.model ~objective:config.objective ~full ()
   in
   (* The persistent window (incremental mode): one allocation for the whole
      run, its shared electrical state and cached base arrivals kept in sync

@@ -43,6 +43,19 @@ type config = {
           against a from-scratch run, raising {!Ssta.Fullssta.Divergence}
           (STAT005) on any mismatch. Costs more than the scratch path;
           meant for debugging and CI property runs. *)
+  fused_kernels : bool;
+      (** default true: route the inner loops through the statkern
+          fused/batched kernels — flattened-LUT paired lookups with
+          memoization ({!Cells.Memo}) and staged batched Clark folds
+          ({!Numerics.Kernels}). A pure execution-strategy switch: results
+          are bit-identical; [false] keeps the scalar reference engine (the
+          benchmark baseline and property-test oracle). *)
+  tolerance : float;
+      (** default 0 (exact). > 0 opts window verdicts into the ε-certified
+          quadratic-Φ scoring regime (requires [fused_kernels]): each
+          verdict is proven identical to exact scoring, accepted with a
+          certified cost-regret bound ≤ [tolerance] ps (audited via
+          {!Window.tolerance_trace}), or transparently re-scored exactly. *)
 }
 
 val default_config : config

@@ -28,6 +28,13 @@ let c_trial_visits = Obs.Counters.make "window.trial.visits"
 let c_cell_evals = Obs.Counters.make "window.trial.cell_evals"
 let c_commit_visits = Obs.Counters.make "window.commit.visits"
 
+(* statobs: how each tolerance-regime window decision was resolved —
+   certified identical to exact, accepted under the ε budget, or fallen
+   back to the exact drain. All zero in exact mode (tolerance = 0). *)
+let c_tol_certified = Obs.Counters.make "window.tolerance.certified"
+let c_tol_tolerated = Obs.Counters.make "window.tolerance.tolerated"
+let c_tol_fallback = Obs.Counters.make "window.tolerance.fallback"
+
 type t = {
   circuit : Netlist.Circuit.t;
   model : Variation.Model.t;
@@ -105,6 +112,42 @@ type t = {
   mutable vc_arc : Numerics.Clark.moments array array array;
   mutable vc_arc_gen : int array array;
   mutable vc_min_out : int array;
+  (* Fused-kernel regime (statkern). [kern] is this window's private
+     staging/accumulator scratch for Numerics.Kernels — single-owner, like
+     the wavefront. The [lane_*] arrays are per-node drain scratch mapping
+     kernel lanes back to candidate indices and hoisting each lane's
+     per-cell table pointers out of the operand loop. All of it is
+     execution strategy only: with [fused] on, every exact-mode value is
+     bit-identical to the scalar path. *)
+  fused : bool;
+  kern : Numerics.Kernels.t;
+  lane_cell : int array;
+  lane_arcs : Numerics.Clark.moments array array;
+  lane_ov : Numerics.Clark.moments array array;
+  lane_ov_gen : int array array;
+  lane_em : float array array;
+  lane_es : float array array;
+  (* ε-certified tolerance regime (opt-in, [tolerance] > 0; honoured on the
+     incremental Global vectorized path only). The fast drain carries, per
+     candidate and node, certified |Δmean|/|Δsigma| bounds against the
+     exact drain over the same inputs ([vc_em]/[vc_es], live under the
+     same stamps as [vc_ov]); [lane_slack] accumulates the certified cost
+     exposure of wavefront-stop decisions the bounds could not disambiguate.
+     [tol_trace] records every decision accepted on budget rather than
+     certified-identical, as (pivot, certified cost-regret bound). *)
+  tolerance : float;
+  move_threshold : float;
+  (* Fast-drain wavefront decay threshold, ≥ [epsilon_wave]. The fast drain
+     may kill a lane's wavefront at a node whose certified move estimate is
+     below this, charging the candidate's [lane_slack] for the certified
+     worst-case cost exposure of the drop; scaling it with [tolerance]
+     converts regret budget directly into skipped drain work. The exact
+     drain always uses [epsilon_wave]. *)
+  fast_wave : float;
+  mutable vc_em : float array array;
+  mutable vc_es : float array array;
+  mutable lane_slack : float array;
+  mutable tol_trace : (Netlist.Circuit.id * float) list;
 }
 
 (* Candidate bitmasks live in one int; windows with more sizes than this
@@ -207,8 +250,9 @@ let rebuild_out_prefix ?(from = 0) t =
 
 (* Re-derive the committed-state arrival moments and their RV_O cost. *)
 let refresh_base t =
-  Ssta.Fassta.propagate_into ~exact:true ~model:t.model ~circuit:t.circuit
-    ~electrical:t.electrical t.base;
+  Ssta.Fassta.propagate_into ~exact:true
+    ?kernel:(if t.fused then Some t.kern else None)
+    ~model:t.model ~circuit:t.circuit ~electrical:t.electrical t.base;
   t.base_cost <- rv_cost t (fun o -> t.base.(o));
   if t.incremental then begin
     rebuild_out_prefix t;
@@ -240,8 +284,23 @@ let refresh_arc_cache t id =
   end
 
 let create ?(mode = Global) ?(incremental = false) ?(area_weight = 0.0)
-    ~circuit ~model ~objective ~full () =
+    ?(fused = true) ?(tolerance = 0.0) ?(move_threshold = 0.0) ~circuit ~model
+    ~objective ~full () =
   let electrical = Ssta.Fullssta.electrical full in
+  (* the fused regime also serves (delay, slew) lookups through the memoized
+     [Cells.Memo] — bit-transparent, toggled on the run's shared engine *)
+  Sta.Electrical.set_fused electrical fused;
+  let kern = Numerics.Kernels.create () in
+  (* Certified per-step fast-max error constants from the abstract
+     interpreter; [Kernels] sits below [Absint] in the dependency order, so
+     they travel as plain floats. *)
+  (* blended-branch constants are the kq_* family: the fast kernels use the
+     fully-quadratic step (quadratic Φ and its derivative as φ), see
+     Numerics.Kernels.pdf_fast *)
+  Numerics.Kernels.set_budget kern ~cutoff_mean:Absint.Budget.k_cutoff_mean
+    ~cutoff_sig:(Float.sqrt Absint.Budget.k_cutoff_var)
+    ~blend_mean:Absint.Budget.kq_blend_mean
+    ~blend_sig:(Float.sqrt Absint.Budget.kq_blend_var);
   let n = Netlist.Circuit.size circuit in
   let down_mean = Array.make n 0.0 and down_var = Array.make n 0.0 in
   downstream_stats_into ~model circuit electrical down_mean down_var;
@@ -298,6 +357,21 @@ let create ?(mode = Global) ?(incremental = false) ?(area_weight = 0.0)
       vc_arc = [||];
       vc_arc_gen = [||];
       vc_min_out = [||];
+      fused;
+      kern;
+      lane_cell = Array.make max_vec_cells 0;
+      lane_arcs = Array.make max_vec_cells [||];
+      lane_ov = Array.make max_vec_cells [||];
+      lane_ov_gen = Array.make max_vec_cells [||];
+      lane_em = Array.make max_vec_cells [||];
+      lane_es = Array.make max_vec_cells [||];
+      tolerance;
+      move_threshold;
+      fast_wave = Float.max epsilon_wave (tolerance /. 16.0);
+      vc_em = [||];
+      vc_es = [||];
+      lane_slack = [||];
+      tol_trace = [];
     }
   in
   if incremental then
@@ -426,6 +500,54 @@ let fast_recompute_into t acc id =
     done
   end
 
+(* Fused variant of [fast_recompute_into]: the same cache reads and the
+   same per-operand sums, but the arrival fold runs through one batched
+   [Kernels.fold_into] call whose arithmetic replicates [scalar_max]
+   literal-for-literal — bit-identical accumulation, without the
+   per-operand cross-module pdf/cdf/erf calls. *)
+let fused_recompute_into t acc id =
+  let fanins = Netlist.Circuit.fanins t.circuit id in
+  let nf = Array.length fanins in
+  if nf = 0 then begin
+    let b = t.base.(id) in
+    acc.am <- b.Numerics.Clark.mean;
+    acc.av <- b.Numerics.Clark.var
+  end
+  else begin
+    let row = Sta.Electrical.arc_delays t.electrical id in
+    let cached = row == t.f_row.(id) in
+    let line = t.f_arc.(id) in
+    let strength =
+      if cached then 0.0
+      else Cells.Cell.strength (Netlist.Circuit.cell_exn t.circuit id)
+    in
+    let gen = t.gen in
+    let kern = t.kern in
+    Numerics.Kernels.ensure kern nf;
+    let bm = kern.Numerics.Kernels.bm and bv = kern.Numerics.Kernels.bv in
+    (* unsafe accesses: same bounds argument as [fast_recompute_into],
+       plus k < nf ≤ kern.cap after [ensure] *)
+    for k = 0 to nf - 1 do
+      let fi = Array.unsafe_get fanins k in
+      let arc =
+        if cached then Array.unsafe_get line k
+        else
+          Variation.Model.delay_moments t.model
+            ~delay:(Array.unsafe_get row k)
+            ~strength
+      in
+      let m =
+        if Array.unsafe_get t.ov_gen fi = gen then Array.unsafe_get t.ov_m fi
+        else Array.unsafe_get t.base fi
+      in
+      Array.unsafe_set bm k (m.Numerics.Clark.mean +. arc.Numerics.Clark.mean);
+      Array.unsafe_set bv k (m.Numerics.Clark.var +. arc.Numerics.Clark.var)
+    done;
+    Numerics.Kernels.fold_into kern nf;
+    acc.am <- kern.Numerics.Kernels.sc.Numerics.Kernels.rm;
+    acc.av <- kern.Numerics.Kernels.sc.Numerics.Kernels.rv
+  end
+
 (* [seed] enqueues the trial's change seeds: every window member for the
    full-sweep path, or just the electrically-dirty nodes for the
    incremental path. Nodes whose recomputed moments do not move simply
@@ -480,7 +602,8 @@ let fast_trial_cost t ~seed =
     let id = Netlist.Wavefront.pop w in
     if id >= 0 then begin
       incr visits;
-      fast_recompute_into t acc id;
+      if t.fused then fused_recompute_into t acc id
+      else fast_recompute_into t acc id;
       let old = t.base.(id) in
       let moved =
         Float.abs (acc.am -. old.Numerics.Clark.mean)
@@ -505,16 +628,44 @@ let fast_trial_cost t ~seed =
     let gen = t.gen in
     let read o = if t.ov_gen.(o) = gen then t.ov_m.(o) else t.base.(o) in
     let j = t.min_out in
-    let m0 = read outs.(j) in
-    let acc =
-      ref
-        (if j = 0 then m0
-         else Numerics.Clark.max_exact t.out_prefix.(j - 1) m0)
-    in
-    for i = j + 1 to Array.length outs - 1 do
-      acc := Numerics.Clark.max_exact !acc (read outs.(i))
-    done;
-    Objective.cost_of_moments t.objective !acc
+    if t.fused then begin
+      (* same fold, staged: operand 0 is the cached prefix (or the first
+         perturbed output when j = 0), so the batched fold replays the
+         scalar resume bit for bit *)
+      let kern = t.kern in
+      let m = Array.length outs in
+      Numerics.Kernels.ensure kern (m - j + 1);
+      let bm = kern.Numerics.Kernels.bm and bv = kern.Numerics.Kernels.bv in
+      let nops = ref 0 in
+      if j > 0 then begin
+        let p = t.out_prefix.(j - 1) in
+        bm.(0) <- p.Numerics.Clark.mean;
+        bv.(0) <- p.Numerics.Clark.var;
+        nops := 1
+      end;
+      for i = j to m - 1 do
+        let mo = read outs.(i) in
+        bm.(!nops) <- mo.Numerics.Clark.mean;
+        bv.(!nops) <- mo.Numerics.Clark.var;
+        incr nops
+      done;
+      Numerics.Kernels.fold_into kern !nops;
+      Objective.cost_of_moments t.objective
+        (Numerics.Clark.moments ~mean:kern.Numerics.Kernels.sc.Numerics.Kernels.rm
+           ~var:kern.Numerics.Kernels.sc.Numerics.Kernels.rv)
+    end
+    else begin
+      let m0 = read outs.(j) in
+      let acc =
+        ref
+          (if j = 0 then m0
+           else Numerics.Clark.max_exact t.out_prefix.(j - 1) m0)
+      in
+      for i = j + 1 to Array.length outs - 1 do
+        acc := Numerics.Clark.max_exact !acc (read outs.(i))
+      done;
+      Objective.cost_of_moments t.objective !acc
+    end
   end
 
 (* Cost of the window as currently sized (no trial cell). *)
@@ -637,7 +788,13 @@ let ensure_vc t nc =
     t.vc_ov_gen <- grow (fun () -> Array.make n 0) t.vc_ov_gen;
     t.vc_arc <- grow (fun () -> Array.make n [||]) t.vc_arc;
     t.vc_arc_gen <- grow (fun () -> Array.make n 0) t.vc_arc_gen;
-    t.vc_min_out <- Array.make nc max_int
+    t.vc_min_out <- Array.make nc max_int;
+    if t.tolerance > 0.0 then begin
+      (* error-interval shadow of [vc_ov], live under the same stamps *)
+      t.vc_em <- grow (fun () -> Array.make n 0.0) t.vc_em;
+      t.vc_es <- grow (fun () -> Array.make n 0.0) t.vc_es;
+      t.lane_slack <- Array.make nc 0.0
+    end
   end
 
 (* Score every candidate cell of the window in ONE shared wavefront drain.
@@ -655,8 +812,20 @@ let ensure_vc t nc =
    solo drain: same topological order, same fanin overrides, same arc
    moments, same [epsilon_wave] decision — so every per-cell cost is
    bit-identical while the heap pops and fanout walks are amortized across
-   the whole candidate set. *)
-let vec_costs t ~lib ~co_size (sub : Netlist.Cone.subcircuit) trials =
+   the whole candidate set.
+
+   With [t.fused], phase 2 runs lane-batched: a node's pending candidates
+   become kernel lanes and the fanin fold runs k-major through
+   [Kernels.max_lanes_exact] — each lane still replays its candidate's solo
+   operation sequence, so costs remain bit-identical.
+
+   [fast] (requires [t.fused]; the ε-tolerance regime) swaps in the
+   quadratic-Φ lane kernels and returns, per candidate, a certified bound
+   on |fast cost - exact cost| assembled from the per-lane error intervals
+   plus the accumulated exposure of ambiguous wavefront-stop decisions. *)
+let vec_costs ?(fast = false) t ~lib ~co_size (sub : Netlist.Cone.subcircuit)
+    trials =
+  let fast = fast && t.fused in
   let pivot = sub.Netlist.Cone.pivot in
   let original = Netlist.Circuit.cell_exn t.circuit pivot in
   let members = sub.Netlist.Cone.members in
@@ -667,6 +836,7 @@ let vec_costs t ~lib ~co_size (sub : Netlist.Cone.subcircuit) trials =
   let w = t.wavefront in
   Netlist.Wavefront.clear w;
   Array.fill t.vc_min_out 0 nc max_int;
+  if fast then Array.fill t.lane_slack 0 nc 0.0;
   let adjs = Array.make nc [] in
   let area_deltas = Array.make nc 0.0 in
   Array.iter (fun id -> t.in_window.(id) <- true) members;
@@ -778,46 +948,188 @@ let vec_costs t ~lib ~co_size (sub : Netlist.Cone.subcircuit) trials =
         let line = t.f_arc.(id) in
         let oi = t.out_idx.(id) in
         prop := 0;
-        (* unsafe accesses: c < nc ≤ |vc_*|, k < nf = |fanins| = |arcs|,
-           and fi/id are node ids covered by every length-n array *)
-        for c = 0 to nc - 1 do
-          if mask land (1 lsl c) <> 0 then begin
-            incr cell_evals;
-            let arcs =
-              if Array.unsafe_get (Array.unsafe_get t.vc_arc_gen c) id = gen
-              then Array.unsafe_get (Array.unsafe_get t.vc_arc c) id
-              else line
-            in
-            let ov = Array.unsafe_get t.vc_ov c
-            and ov_gen = Array.unsafe_get t.vc_ov_gen c in
+        if t.fused then begin
+          (* Lane-batched recompute: gather this node's pending candidates
+             into kernel lanes, hoist each lane's arc/override pointers, and
+             run the fanin fold k-major — one [max_lanes_*] call per fanin
+             level instead of one cross-module scalar max per (candidate,
+             fanin). Lane [li] performs candidate [lane_cell.(li)]'s exact
+             solo operation sequence, in order, on the same operands. *)
+          let kern = t.kern in
+          Numerics.Kernels.ensure kern nc;
+          let nl = ref 0 in
+          (* unsafe accesses: c < nc ≤ |vc_*|, li < nc ≤ max_vec_cells =
+             |lane_*| and ≤ kern.cap after [ensure], k < nf = |fanins| =
+             |arcs|, and fi/id are node ids covered by every length-n
+             array *)
+          for c = 0 to nc - 1 do
+            if mask land (1 lsl c) <> 0 then begin
+              incr cell_evals;
+              let li = !nl in
+              Array.unsafe_set t.lane_cell li c;
+              Array.unsafe_set t.lane_arcs li
+                (if Array.unsafe_get (Array.unsafe_get t.vc_arc_gen c) id = gen
+                 then Array.unsafe_get (Array.unsafe_get t.vc_arc c) id
+                 else line);
+              Array.unsafe_set t.lane_ov li (Array.unsafe_get t.vc_ov c);
+              Array.unsafe_set t.lane_ov_gen li
+                (Array.unsafe_get t.vc_ov_gen c);
+              if fast then begin
+                Array.unsafe_set t.lane_em li (Array.unsafe_get t.vc_em c);
+                Array.unsafe_set t.lane_es li (Array.unsafe_get t.vc_es c)
+              end;
+              nl := li + 1
+            end
+          done;
+          let nl = !nl in
+          Numerics.Kernels.(
+            let am = kern.am and av = kern.av in
+            let bm = kern.bm and bv = kern.bv in
+            let kem = kern.em and kes = kern.es in
+            let bem = kern.bem and bes = kern.bes in
             for k = 0 to nf - 1 do
               let fi = Array.unsafe_get fanins k in
-              let fm =
-                if Array.unsafe_get ov_gen fi = gen then Array.unsafe_get ov fi
-                else Array.unsafe_get t.base fi
-              in
-              let arc = Array.unsafe_get arcs k in
-              let sm = fm.Numerics.Clark.mean +. arc.Numerics.Clark.mean in
-              let sv = fm.Numerics.Clark.var +. arc.Numerics.Clark.var in
-              if k = 0 then begin
-                acc.am <- sm;
-                acc.av <- sv
-              end
-              else scalar_max acc sm sv
+              for li = 0 to nl - 1 do
+                let ov_gen = Array.unsafe_get t.lane_ov_gen li in
+                let live = Array.unsafe_get ov_gen fi = gen in
+                let fm =
+                  if live then
+                    Array.unsafe_get (Array.unsafe_get t.lane_ov li) fi
+                  else Array.unsafe_get t.base fi
+                in
+                let arc =
+                  Array.unsafe_get (Array.unsafe_get t.lane_arcs li) k
+                in
+                let sm = fm.Numerics.Clark.mean +. arc.Numerics.Clark.mean in
+                let sv = fm.Numerics.Clark.var +. arc.Numerics.Clark.var in
+                if k = 0 then begin
+                  Array.unsafe_set am li sm;
+                  Array.unsafe_set av li sv
+                end
+                else begin
+                  Array.unsafe_set bm li sm;
+                  Array.unsafe_set bv li sv
+                end;
+                if fast then begin
+                  let e_m =
+                    if live then
+                      Array.unsafe_get (Array.unsafe_get t.lane_em li) fi
+                    else 0.0
+                  and e_s =
+                    if live then
+                      Array.unsafe_get (Array.unsafe_get t.lane_es li) fi
+                    else 0.0
+                  in
+                  if k = 0 then begin
+                    Array.unsafe_set kem li e_m;
+                    Array.unsafe_set kes li e_s
+                  end
+                  else begin
+                    Array.unsafe_set bem li e_m;
+                    Array.unsafe_set bes li e_s
+                  end
+                end
+              done;
+              if k > 0 then
+                if fast then max_lanes_fast kern nl
+                else max_lanes_exact kern nl
             done;
-            let moved =
-              Float.abs (acc.am -. old_mean)
-              +. Float.abs (Float.sqrt acc.av -. old_sigma)
-              > epsilon_wave
-            in
-            if moved then begin
-              ov.(id) <- Numerics.Clark.moments ~mean:acc.am ~var:acc.av;
-              ov_gen.(id) <- gen;
-              if oi >= 0 && oi < t.vc_min_out.(c) then t.vc_min_out.(c) <- oi;
-              prop := !prop lor (1 lsl c)
+            for li = 0 to nl - 1 do
+              let c = Array.unsafe_get t.lane_cell li in
+              let m = Array.unsafe_get am li
+              and v = Array.unsafe_get av li in
+              let move =
+                Float.abs (m -. old_mean)
+                +. Float.abs (Float.sqrt v -. old_sigma)
+              in
+              let moved =
+                move > (if fast then t.fast_wave else epsilon_wave)
+              in
+              if fast then begin
+                let err =
+                  Array.unsafe_get kem li +. Array.unsafe_get kes li
+                in
+                (* Whenever this stop/propagate decision may diverge from
+                   the exact drain's — the true move lies in [move − err,
+                   move + err], the exact threshold is [epsilon_wave], ours
+                   is [fast_wave] ≥ it — charge the candidate's certified
+                   cost exposure: a dropped (or spuriously kept) delta of
+                   at most move + err shifts every downstream moment by at
+                   most that much (the exact max is jointly 1-Lipschitz in
+                   its operand means, ≤ 0.4-Lipschitz in the sigmas), so
+                   the cost moves by ≤ max(1, α)·(move + err). Raising
+                   [fast_wave] with the tolerance budget widens the
+                   charged band and decays wavefronts sooner — regret
+                   budget traded directly for skipped drain work. *)
+                let divergent =
+                  if moved then move -. err <= epsilon_wave
+                  else move +. err > epsilon_wave
+                in
+                if divergent then
+                  t.lane_slack.(c) <-
+                    t.lane_slack.(c)
+                    +. Float.max 1.0 (Objective.alpha t.objective)
+                       *. (move +. err)
+              end;
+              if moved then begin
+                (Array.unsafe_get t.lane_ov li).(id) <-
+                  Numerics.Clark.moments ~mean:m ~var:v;
+                (Array.unsafe_get t.lane_ov_gen li).(id) <- gen;
+                if fast then begin
+                  (Array.unsafe_get t.lane_em li).(id) <-
+                    Array.unsafe_get kem li;
+                  (Array.unsafe_get t.lane_es li).(id) <-
+                    Array.unsafe_get kes li
+                end;
+                if oi >= 0 && oi < t.vc_min_out.(c) then
+                  t.vc_min_out.(c) <- oi;
+                prop := !prop lor (1 lsl c)
+              end
+            done)
+        end
+        else begin
+          (* unsafe accesses: c < nc ≤ |vc_*|, k < nf = |fanins| = |arcs|,
+             and fi/id are node ids covered by every length-n array *)
+          for c = 0 to nc - 1 do
+            if mask land (1 lsl c) <> 0 then begin
+              incr cell_evals;
+              let arcs =
+                if Array.unsafe_get (Array.unsafe_get t.vc_arc_gen c) id = gen
+                then Array.unsafe_get (Array.unsafe_get t.vc_arc c) id
+                else line
+              in
+              let ov = Array.unsafe_get t.vc_ov c
+              and ov_gen = Array.unsafe_get t.vc_ov_gen c in
+              for k = 0 to nf - 1 do
+                let fi = Array.unsafe_get fanins k in
+                let fm =
+                  if Array.unsafe_get ov_gen fi = gen then
+                    Array.unsafe_get ov fi
+                  else Array.unsafe_get t.base fi
+                in
+                let arc = Array.unsafe_get arcs k in
+                let sm = fm.Numerics.Clark.mean +. arc.Numerics.Clark.mean in
+                let sv = fm.Numerics.Clark.var +. arc.Numerics.Clark.var in
+                if k = 0 then begin
+                  acc.am <- sm;
+                  acc.av <- sv
+                end
+                else scalar_max acc sm sv
+              done;
+              let moved =
+                Float.abs (acc.am -. old_mean)
+                +. Float.abs (Float.sqrt acc.av -. old_sigma)
+                > epsilon_wave
+              in
+              if moved then begin
+                ov.(id) <- Numerics.Clark.moments ~mean:acc.am ~var:acc.av;
+                ov_gen.(id) <- gen;
+                if oi >= 0 && oi < t.vc_min_out.(c) then t.vc_min_out.(c) <- oi;
+                prop := !prop lor (1 lsl c)
+              end
             end
-          end
-        done;
+          done
+        end;
         if !prop <> 0 then
           Netlist.Circuit.iter_fanouts t.circuit id ~f:push_pend
       end;
@@ -828,37 +1140,91 @@ let vec_costs t ~lib ~co_size (sub : Netlist.Cone.subcircuit) trials =
   Obs.Counters.add c_trial_visits !visits;
   Obs.Counters.add c_cell_evals !cell_evals;
   let outs = t.outputs_arr in
+  let nouts = Array.length outs in
+  let eps = if fast then Array.make nc 0.0 else [||] in
   let costs =
     Array.init nc (fun c ->
-        if t.vc_min_out.(c) = max_int then t.base_cost
+        if t.vc_min_out.(c) = max_int then begin
+          if fast then eps.(c) <- t.lane_slack.(c);
+          t.base_cost
+        end
         else begin
           let ov = t.vc_ov.(c) and ov_gen = t.vc_ov_gen.(c) in
           let read o = if ov_gen.(o) = gen then ov.(o) else t.base.(o) in
           let j = t.vc_min_out.(c) in
-          let m0 = read outs.(j) in
-          (if j = 0 then begin
-             acc.am <- m0.Numerics.Clark.mean;
-             acc.av <- m0.Numerics.Clark.var
-           end
-           else begin
-             let p = t.out_prefix.(j - 1) in
-             acc.am <- p.Numerics.Clark.mean;
-             acc.av <- p.Numerics.Clark.var;
-             scalar_max acc m0.Numerics.Clark.mean m0.Numerics.Clark.var
-           end);
-          for i = j + 1 to Array.length outs - 1 do
-            let m = read outs.(i) in
-            scalar_max acc m.Numerics.Clark.mean m.Numerics.Clark.var
-          done;
-          Objective.cost_of_moments t.objective
-            (Numerics.Clark.moments ~mean:acc.am ~var:acc.av)
+          if t.fused then
+            Numerics.Kernels.(
+              (* the batched fold replays the scalar prefix-resume bit for
+                 bit: operand 0 is the cached prefix (or the first
+                 perturbed output when j = 0) *)
+              let kern = t.kern in
+              ensure kern (nouts - j + 1);
+              let bm = kern.bm and bv = kern.bv in
+              let bem = kern.bem and bes = kern.bes in
+              let nops = ref 0 in
+              if j > 0 then begin
+                let p = t.out_prefix.(j - 1) in
+                bm.(0) <- p.Numerics.Clark.mean;
+                bv.(0) <- p.Numerics.Clark.var;
+                if fast then begin
+                  bem.(0) <- 0.0;
+                  bes.(0) <- 0.0
+                end;
+                nops := 1
+              end;
+              for i = j to nouts - 1 do
+                let o = outs.(i) in
+                let mo = read o in
+                bm.(!nops) <- mo.Numerics.Clark.mean;
+                bv.(!nops) <- mo.Numerics.Clark.var;
+                if fast then begin
+                  let live = ov_gen.(o) = gen in
+                  bem.(!nops) <- (if live then t.vc_em.(c).(o) else 0.0);
+                  bes.(!nops) <- (if live then t.vc_es.(c).(o) else 0.0)
+                end;
+                incr nops
+              done;
+              if fast then begin
+                fold_into_fast kern !nops;
+                (* |Δcost| ≤ |Δμ| + α·|Δσ| for cost = μ + α·σ *)
+                eps.(c) <-
+                  kern.sc.re_m
+                  +. (Objective.alpha t.objective *. kern.sc.re_s)
+                  +. t.lane_slack.(c);
+                Objective.cost_of_moments t.objective
+                  (Numerics.Clark.moments ~mean:kern.sc.rm ~var:kern.sc.rv)
+              end
+              else begin
+                fold_into kern !nops;
+                Objective.cost_of_moments t.objective
+                  (Numerics.Clark.moments ~mean:kern.sc.rm ~var:kern.sc.rv)
+              end)
+          else begin
+            let m0 = read outs.(j) in
+            (if j = 0 then begin
+               acc.am <- m0.Numerics.Clark.mean;
+               acc.av <- m0.Numerics.Clark.var
+             end
+             else begin
+               let p = t.out_prefix.(j - 1) in
+               acc.am <- p.Numerics.Clark.mean;
+               acc.av <- p.Numerics.Clark.var;
+               scalar_max acc m0.Numerics.Clark.mean m0.Numerics.Clark.var
+             end);
+            for i = j + 1 to nouts - 1 do
+              let m = read outs.(i) in
+              scalar_max acc m.Numerics.Clark.mean m.Numerics.Clark.var
+            done;
+            Objective.cost_of_moments t.objective
+              (Numerics.Clark.moments ~mean:acc.am ~var:acc.av)
+          end
         end)
   in
   (* identical pricing arithmetic to [cost_with_cell] *)
   Array.iteri
     (fun c base -> costs.(c) <- base +. (t.area_weight *. area_deltas.(c)))
     costs;
-  (costs, adjs)
+  (costs, adjs, eps)
 
 (* The inner loop of Fig. 2: try every available size for the pivot, return
    the best cell, its induced fanin co-sizing, and its cost (ties keep the
@@ -884,18 +1250,84 @@ let best_size ?(co_size = true) t ~lib (sub : Netlist.Cone.subcircuit) =
     && Array.length trials > 0
     && Array.length trials <= max_vec_cells
   then begin
-    let costs, adjs = vec_costs t ~lib ~co_size sub trials in
-    Array.iteri
-      (fun c cell ->
-        if costs.(c) < !best.best_cost then
-          best :=
-            {
-              !best with
-              best = cell;
-              co_resizes = adjs.(c);
-              best_cost = costs.(c);
-            })
-      trials
+    let pick costs adjs =
+      Array.iteri
+        (fun c cell ->
+          if costs.(c) < !best.best_cost then
+            best :=
+              {
+                !best with
+                best = cell;
+                co_resizes = adjs.(c);
+                best_cost = costs.(c);
+              })
+        trials
+    in
+    if t.tolerance > 0.0 && t.fused then begin
+      (* ε-tolerance regime: score with the quadratic-Φ kernels and their
+         certified per-candidate error bounds, then decide what the exact
+         drain would have decided.
+         - certified: the bounds prove the sizer's decision (commit the
+           fast argmin, or keep the incumbent) is the one exact scoring
+           yields — accept, bit-identical outcome.
+         - tolerated: not provably identical, but the worst-case cost
+           regret of acting on the fast verdict is ≤ 2·max ε ≤ tolerance —
+           accept and record the bound in the trace.
+         - fallback: rerun the exact drain (its generation bump leaves no
+           fast state live). Decisions are the only thing at stake:
+           commits always re-derive exact electrical and arrival state. *)
+      let costs, adjs, eps = vec_costs ~fast:true t ~lib ~co_size sub trials in
+      let nc = Array.length trials in
+      let bi = ref (-1) in
+      for c = 0 to nc - 1 do
+        if costs.(c) < (if !bi < 0 then current_cost else costs.(!bi)) then
+          bi := c
+      done;
+      let thr = t.move_threshold in
+      let certified =
+        if !bi >= 0 && current_cost -. costs.(!bi) > thr then begin
+          (* exact argmin is provably [bi] and its gain provably clears
+             the threshold *)
+          let b = !bi in
+          let ok = ref (current_cost -. (costs.(b) +. eps.(b)) > thr) in
+          for c = 0 to nc - 1 do
+            if c <> b && not (costs.(c) -. eps.(c) > costs.(b) +. eps.(b))
+            then ok := false
+          done;
+          !ok
+        end
+        else begin
+          (* fast verdict is "keep": certified iff no candidate can reach
+             the threshold even at its optimistic bound *)
+          let ok = ref true in
+          for c = 0 to nc - 1 do
+            if current_cost -. (costs.(c) -. eps.(c)) > thr then ok := false
+          done;
+          !ok
+        end
+      in
+      if certified then begin
+        Obs.Counters.bump c_tol_certified;
+        pick costs adjs
+      end
+      else begin
+        let eps_max = Array.fold_left Float.max 0.0 eps in
+        if 2.0 *. eps_max <= t.tolerance then begin
+          Obs.Counters.bump c_tol_tolerated;
+          t.tol_trace <- (pivot, 2.0 *. eps_max) :: t.tol_trace;
+          pick costs adjs
+        end
+        else begin
+          Obs.Counters.bump c_tol_fallback;
+          let costs, adjs, _ = vec_costs t ~lib ~co_size sub trials in
+          pick costs adjs
+        end
+      end
+    end
+    else begin
+      let costs, adjs, _ = vec_costs t ~lib ~co_size sub trials in
+      pick costs adjs
+    end
   end
   else
     Array.iter
@@ -948,7 +1380,8 @@ let commit_incremental t ~resized =
     let id = Netlist.Wavefront.pop w in
     if id >= 0 then begin
       incr visits;
-      fast_recompute_into t acc id;
+      if t.fused then fused_recompute_into t acc id
+      else fast_recompute_into t acc id;
       let old = t.base.(id) in
       if
         not
@@ -980,6 +1413,11 @@ let commit_incremental t ~resized =
   t.dirt <- List.rev_append dirty t.dirt
 
 let base_cost t = t.base_cost
+
+(* Tolerance-regime audit trail: every verdict accepted on budget rather
+   than certified-identical, newest first, as (pivot, certified cost-regret
+   bound). Empty in exact mode and whenever every decision certified. *)
+let tolerance_trace t = t.tol_trace
 
 (* Hand the accumulated electrical-dirty ids (from incremental commits) to
    the caller and forget them; used to decide when a dominance prune needs

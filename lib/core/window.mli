@@ -15,6 +15,9 @@ val create :
   ?mode:mode ->
   ?incremental:bool ->
   ?area_weight:float ->
+  ?fused:bool ->
+  ?tolerance:float ->
+  ?move_threshold:float ->
   circuit:Netlist.Circuit.t ->
   model:Variation.Model.t ->
   objective:Objective.t ->
@@ -28,7 +31,23 @@ val create :
     trial scores are identical) and enables {!commit_incremental}.
     [area_weight] (default 0) adds ps-per-area-unit pricing of each move's
     area delta to trial costs — the baseline mean optimizer uses it to stop
-    at diminishing returns. *)
+    at diminishing returns.
+
+    [fused] (default true) routes arrival folds, RV_O folds and LUT lookups
+    through the batched/fused statkern kernels ({!Numerics.Kernels},
+    {!Cells.Memo}) — a pure execution-strategy switch: every value, cost
+    and verdict is bit-identical to the scalar reference path ([false], the
+    pre-kernel engine, kept as the benchmark baseline and oracle).
+
+    [tolerance] (default 0 = exact) opts into the ε-certified fast-scoring
+    regime on the vectorized candidate drain (requires [fused]; honoured
+    with [incremental] + [Global]): candidates are scored with the paper's
+    quadratic-Φ max alongside certified error intervals
+    ({!Absint.Budget}), and each verdict is either proven identical to
+    exact scoring, accepted with a certified cost-regret bound
+    ≤ [tolerance] (recorded in {!tolerance_trace}), or re-scored exactly.
+    [move_threshold] must then mirror the sizer's commit threshold, since
+    certification reasons about the commit decision. *)
 
 val refresh : t -> unit
 (** Bring a persistent window up to date at the start of a new outer
@@ -87,3 +106,11 @@ val take_dirt : t -> Netlist.Circuit.id list
 
 val fassta_stats : t -> Ssta.Fassta.stats
 (** Accumulated cutoff/blend counts across all evaluations. *)
+
+val tolerance_trace : t -> (Netlist.Circuit.id * float) list
+(** Tolerance-regime audit trail: the verdicts accepted on budget rather
+    than proven identical to exact scoring, newest first, as (pivot,
+    certified cost-regret bound). Empty in exact mode ([tolerance = 0]) and
+    whenever every decision certified. The statobs counters
+    [window.tolerance.certified]/[tolerated]/[fallback] tally the three
+    outcomes. *)

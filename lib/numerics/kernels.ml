@@ -1,0 +1,347 @@
+(* Fused Clark-max kernels for the sizer's inner loops.
+
+   The profile in EXPERIMENTS.md §"incremental" pins ~55% of a c880 sizing
+   iteration on the candidate-drain Clark maxes themselves: per max, two
+   [Float.exp]s, an Abramowitz–Stegun erf, a square root and a handful of
+   divisions — with every call crossing a module boundary ([Normal.pdf],
+   [Normal.cdf], [Erf.exact]), which on a non-flambda compiler boxes each
+   float argument and result. This module removes the boxing and the
+   per-operand dispatch without changing a single bit of the arithmetic:
+
+   - callers *stage* operands into flat float arrays (unboxed storage) and
+     issue one call per node fold or per lane batch, so the erf/φ/Φ
+     polynomial evaluation inlines into a single tight loop;
+   - the math is a literal-for-literal, operation-for-operation replica of
+     [Clark.max_exact ~rho:0] / [Clark.max_fast] (including [Normal.pdf],
+     [Normal.cdf] and the A&S 7.1.26 Horner form of [Erf.exact]), so exact
+     kernels are bit-identical to the scalar reference — the property
+     test/test_kernels.ml checks corner-by-corner;
+   - results come back through mutable float record fields ([rm]/[rv]) or
+     the lane accumulator arrays, both unboxed.
+
+   The fast lane variants additionally carry certified error intervals: per
+   lane, an accumulated mean-error and sigma-error bound grown by the
+   per-step constants of Absint.Budget (installed by the caller through
+   [set_budget]; this module cannot depend on Absint, which sits above
+   numerics). See DESIGN.md §14 for the accounting contract. *)
+
+(* All-float record: OCaml stores such records as flat float blocks, so the
+   hot-loop stores below do not allocate. Mixing these fields into [t]
+   (which holds ints and arrays) would box every store. *)
+type scalars = {
+  (* scalar fold results (unboxed return channel) *)
+  mutable rm : float;
+  mutable rv : float;
+  mutable re_m : float; (* fold |Δmean| bound (fast regime) *)
+  mutable re_s : float; (* fold |Δsigma| bound (fast regime) *)
+  (* per-step budget constants, normalized by spread: mean error ≤ k·sp,
+     sigma error ≤ k·sp. Installed via [set_budget]; the +inf defaults mean
+     an uncertified fast run can never certify a decision by accident. *)
+  mutable kc_mean : float; (* cutoff branch *)
+  mutable kc_sig : float;
+  mutable kb_mean : float; (* blended branch *)
+  mutable kb_sig : float;
+}
+
+type t = {
+  mutable cap : int; (* capacity of every array below *)
+  (* staged operands (one entry per fold step or per lane) *)
+  mutable bm : float array; (* operand means *)
+  mutable bv : float array; (* operand variances *)
+  mutable bem : float array; (* operand certified |Δmean| (fast regime) *)
+  mutable bes : float array; (* operand certified |Δsigma| (fast regime) *)
+  (* lane accumulators for the batched candidate drain *)
+  mutable am : float array;
+  mutable av : float array;
+  mutable em : float array; (* accumulated lane |Δmean| bound *)
+  mutable es : float array; (* accumulated lane |Δsigma| bound *)
+  sc : scalars;
+}
+
+let c_fold_calls = Obs.Counters.make "kernels.fold.calls"
+let c_fold_ops = Obs.Counters.make "kernels.fold.ops"
+let c_lane_calls = Obs.Counters.make "kernels.lanes.calls"
+let c_lane_ops = Obs.Counters.make "kernels.lanes.ops"
+let c_fast_ops = Obs.Counters.make "kernels.fast.ops"
+
+let create () =
+  let n = 64 in
+  {
+    cap = n;
+    bm = Array.make n 0.0;
+    bv = Array.make n 0.0;
+    bem = Array.make n 0.0;
+    bes = Array.make n 0.0;
+    am = Array.make n 0.0;
+    av = Array.make n 0.0;
+    em = Array.make n 0.0;
+    es = Array.make n 0.0;
+    sc =
+      {
+        rm = 0.0;
+        rv = 0.0;
+        re_m = 0.0;
+        re_s = 0.0;
+        kc_mean = infinity;
+        kc_sig = infinity;
+        kb_mean = infinity;
+        kb_sig = infinity;
+      };
+  }
+
+let ensure t n =
+  if n > t.cap then begin
+    let cap = Stdlib.max n (2 * t.cap) in
+    t.bm <- Array.make cap 0.0;
+    t.bv <- Array.make cap 0.0;
+    t.bem <- Array.make cap 0.0;
+    t.bes <- Array.make cap 0.0;
+    t.am <- Array.make cap 0.0;
+    t.av <- Array.make cap 0.0;
+    t.em <- Array.make cap 0.0;
+    t.es <- Array.make cap 0.0;
+    t.cap <- cap
+  end
+
+let set_budget t ~cutoff_mean ~cutoff_sig ~blend_mean ~blend_sig =
+  let sc = t.sc in
+  sc.kc_mean <- cutoff_mean;
+  sc.kc_sig <- cutoff_sig;
+  sc.kb_mean <- blend_mean;
+  sc.kb_sig <- blend_sig
+
+(* ---- local replicas of the reference special functions -------------------
+
+   Same literals, same parenthesization, same operation order as
+   Numerics.Erf / Numerics.Normal — the compiler emits the same float ops,
+   so the results are bit-identical. They live here (rather than being
+   called cross-module) purely so they inline into the loops below with
+   unboxed floats. *)
+
+let sqrt_two = Float.sqrt 2.0
+let sqrt_two_pi = Float.sqrt (2.0 *. Float.pi)
+
+(* = Erf.exact *)
+let[@inline] erf_exact x =
+  let ax = Float.abs x in
+  let t = 1.0 /. (1.0 +. (0.3275911 *. ax)) in
+  let poly =
+    t
+    *. (0.254829592
+       +. (t
+          *. (-0.284496736
+             +. (t *. (1.421413741 +. (t *. (-1.453152027 +. (t *. 1.061405429))))))))
+  in
+  let v = 1.0 -. (poly *. Float.exp (-.(ax *. ax))) in
+  if x >= 0.0 then v else -.v
+
+(* = Normal.pdf *)
+let[@inline] pdf x = Float.exp (-0.5 *. x *. x) /. sqrt_two_pi
+
+(* = Normal.cdf *)
+let[@inline] cdf x = 0.5 *. (1.0 +. erf_exact (x /. sqrt_two))
+
+(* = Erf.phi_quadratic (= Normal.cdf_fast) *)
+let[@inline] phi_excess_magnitude x =
+  if x <= 2.2 then 0.1 *. x *. (4.4 -. x)
+  else if x <= 2.6 then 0.49
+  else 0.5
+
+let[@inline] cdf_fast x =
+  if x >= 0.0 then 0.5 +. phi_excess_magnitude x
+  else 0.5 -. phi_excess_magnitude (-.x)
+
+(* φ surrogate of the fast lanes: the quadratic Φ's own derivative,
+   φq(x) = dΦq/dx = max(0, 0.44 − 0.2·|x|). Three flops, no [exp] — this is
+   what makes a fast blended step transcendental-free. Certified error and
+   the matching step constants: Absint.Budget.eps_pdf / kq_blend_*. *)
+let[@inline] pdf_fast x =
+  let ax = Float.abs x in
+  if ax >= 2.2 then 0.0 else 0.44 -. (0.2 *. ax)
+
+(* |α| ≥ cutoff collapses the fast max to the dominant operand (paper
+   conditions (5)/(6)); must equal Clark.cutoff = Erf.phi_saturation_point. *)
+let cutoff = 2.6
+
+(* ---- exact kernels ----------------------------------------------------- *)
+
+(* One exact Clark max, (am, av) ← max((am, av), (bm, bv)), written as a
+   macro-style code block via mutually-redundant lets so both the fold and
+   the lane loops share the identical operation sequence. Accumulator is
+   the FIRST operand (a), matching every scalar fold in the tree: Window's
+   scalar_max and Fassta's [Clark.max_exact best arrival]. *)
+
+let fold_into t n =
+  if n <= 0 then invalid_arg "Kernels.fold_into: empty operand set";
+  Obs.Counters.bump c_fold_calls;
+  Obs.Counters.add c_fold_ops (n - 1);
+  let bm = t.bm and bv = t.bv in
+  (* accumulate directly in the all-float scalar record: a [float ref] (or
+     a float field of the mixed record [t]) would box every store *)
+  let sc = t.sc in
+  sc.rm <- Array.unsafe_get bm 0;
+  sc.rv <- Array.unsafe_get bv 0;
+  for k = 1 to n - 1 do
+    let b_mean = Array.unsafe_get bm k and b_var = Array.unsafe_get bv k in
+    let a_mean = sc.rm and a_var = sc.rv in
+    let sp = Float.sqrt (Float.max (a_var +. b_var) 0.0) in
+    if sp <= 0.0 then begin
+      if a_mean >= b_mean then () (* accumulator already holds the max *)
+      else begin
+        sc.rm <- b_mean;
+        sc.rv <- b_var
+      end
+    end
+    else begin
+      let alpha = (a_mean -. b_mean) /. sp in
+      let phi = pdf alpha in
+      let cdf_pos = cdf alpha in
+      let cdf_neg = 1.0 -. cdf_pos in
+      let m1 = (a_mean *. cdf_pos) +. (b_mean *. cdf_neg) +. (sp *. phi) in
+      let m2 =
+        (((a_mean *. a_mean) +. a_var) *. cdf_pos)
+        +. (((b_mean *. b_mean) +. b_var) *. cdf_neg)
+        +. ((a_mean +. b_mean) *. sp *. phi)
+      in
+      sc.rm <- m1;
+      sc.rv <- Float.max (m2 -. (m1 *. m1)) 0.0
+    end
+  done
+
+let max_lanes_exact t n =
+  Obs.Counters.bump c_lane_calls;
+  Obs.Counters.add c_lane_ops n;
+  let bm = t.bm and bv = t.bv and am = t.am and av = t.av in
+  for li = 0 to n - 1 do
+    let a_mean = Array.unsafe_get am li and a_var = Array.unsafe_get av li in
+    let b_mean = Array.unsafe_get bm li and b_var = Array.unsafe_get bv li in
+    let sp = Float.sqrt (Float.max (a_var +. b_var) 0.0) in
+    if sp <= 0.0 then begin
+      if a_mean >= b_mean then ()
+      else begin
+        Array.unsafe_set am li b_mean;
+        Array.unsafe_set av li b_var
+      end
+    end
+    else begin
+      let alpha = (a_mean -. b_mean) /. sp in
+      let phi = pdf alpha in
+      let cdf_pos = cdf alpha in
+      let cdf_neg = 1.0 -. cdf_pos in
+      let m1 = (a_mean *. cdf_pos) +. (b_mean *. cdf_neg) +. (sp *. phi) in
+      let m2 =
+        (((a_mean *. a_mean) +. a_var) *. cdf_pos)
+        +. (((b_mean *. b_mean) +. b_var) *. cdf_neg)
+        +. ((a_mean +. b_mean) *. sp *. phi)
+      in
+      Array.unsafe_set am li m1;
+      Array.unsafe_set av li (Float.max (m2 -. (m1 *. m1)) 0.0)
+    end
+  done
+
+(* ---- fast (ε-certified) kernels ----------------------------------------
+
+   Arithmetic follows Clark.max_fast's shape (cutoff collapse + CRC
+   quadratic Φ in the blended branch) and goes one step cheaper: φ is
+   replaced by [pdf_fast] (the quadratic Φ's own derivative), so a blended
+   step is transcendental-free — no [exp] anywhere in the fast drain. The
+   certified step constants installed via [set_budget] must match this
+   arithmetic (Absint.Budget.kq_blend_mean/var for blended steps,
+   k_cutoff_mean/var for cutoff steps). Alongside the
+   moments, each lane carries a certified error interval (|Δmean| ≤ em, |Δsigma| ≤ es vs the
+   exact fold over the same *staged* operands plus the operands' own
+   intervals):
+
+     em' = max(em_a, em_b) + 0.4·(es_a + es_b) + k_mean(branch)·sp
+     es' = max(es_a, es_b) + 0.5·(em_a + em_b) + k_sig(branch)·sp
+
+   The k·sp terms are Absint.Budget's certified per-step constants
+   evaluated at the fast operands (the branch is known, so the branch
+   constant applies). The operand-propagation terms use the Lipschitz
+   bounds of the exact max: ∂E/∂μA = Φ(α), ∂E/∂μB = Φ(−α) — a convex
+   combination, hence the max — and |∂E/∂σ·| ≤ φ(α) ≤ 0.4; the 0.5
+   mean-to-sigma cross term is the engineering bound documented and
+   empirically validated in DESIGN.md §14. *)
+
+(* One fast step, (a) ← max_fast((a), (b)), results through t.rm/rv/re_m/re_s
+   (mutable float fields stay unboxed; a result closure would allocate per
+   lane). *)
+let fast_step sc a_mean a_var a_em a_es b_mean b_var b_em b_es =
+  let sp = Float.sqrt (Float.max (a_var +. b_var) 0.0) in
+  if sp <= 0.0 then begin
+    (* degenerate operands: the fast pick equals the exact pick, no step
+       error; only the operand intervals survive *)
+    if a_mean >= b_mean then begin
+      sc.rm <- a_mean;
+      sc.rv <- a_var;
+      sc.re_m <- a_em;
+      sc.re_s <- a_es
+    end
+    else begin
+      sc.rm <- b_mean;
+      sc.rv <- b_var;
+      sc.re_m <- b_em;
+      sc.re_s <- b_es
+    end
+  end
+  else
+    let alpha = (a_mean -. b_mean) /. sp in
+    if alpha >= cutoff then begin
+      sc.rm <- a_mean;
+      sc.rv <- a_var;
+      sc.re_m <- Float.max a_em b_em +. (0.4 *. (a_es +. b_es)) +. (sc.kc_mean *. sp);
+      sc.re_s <- Float.max a_es b_es +. (0.5 *. (a_em +. b_em)) +. (sc.kc_sig *. sp)
+    end
+    else if alpha <= -.cutoff then begin
+      sc.rm <- b_mean;
+      sc.rv <- b_var;
+      sc.re_m <- Float.max a_em b_em +. (0.4 *. (a_es +. b_es)) +. (sc.kc_mean *. sp);
+      sc.re_s <- Float.max a_es b_es +. (0.5 *. (a_em +. b_em)) +. (sc.kc_sig *. sp)
+    end
+    else begin
+      let phi = pdf_fast alpha in
+      let cdf_pos = cdf_fast alpha in
+      let cdf_neg = 1.0 -. cdf_pos in
+      let m1 = (a_mean *. cdf_pos) +. (b_mean *. cdf_neg) +. (sp *. phi) in
+      let m2 =
+        (((a_mean *. a_mean) +. a_var) *. cdf_pos)
+        +. (((b_mean *. b_mean) +. b_var) *. cdf_neg)
+        +. ((a_mean +. b_mean) *. sp *. phi)
+      in
+      sc.rm <- m1;
+      sc.rv <- Float.max (m2 -. (m1 *. m1)) 0.0;
+      sc.re_m <- Float.max a_em b_em +. (0.4 *. (a_es +. b_es)) +. (sc.kb_mean *. sp);
+      sc.re_s <- Float.max a_es b_es +. (0.5 *. (a_em +. b_em)) +. (sc.kb_sig *. sp)
+    end
+
+let fold_into_fast t n =
+  if n <= 0 then invalid_arg "Kernels.fold_into_fast: empty operand set";
+  Obs.Counters.bump c_fold_calls;
+  Obs.Counters.add c_fast_ops (n - 1);
+  let bm = t.bm and bv = t.bv and bem = t.bem and bes = t.bes in
+  let sc = t.sc in
+  sc.rm <- Array.unsafe_get bm 0;
+  sc.rv <- Array.unsafe_get bv 0;
+  sc.re_m <- Array.unsafe_get bem 0;
+  sc.re_s <- Array.unsafe_get bes 0;
+  for k = 1 to n - 1 do
+    fast_step sc sc.rm sc.rv sc.re_m sc.re_s (Array.unsafe_get bm k)
+      (Array.unsafe_get bv k) (Array.unsafe_get bem k) (Array.unsafe_get bes k)
+  done
+
+let max_lanes_fast t n =
+  Obs.Counters.bump c_lane_calls;
+  Obs.Counters.add c_fast_ops n;
+  let bm = t.bm and bv = t.bv and bem = t.bem and bes = t.bes in
+  let am = t.am and av = t.av and em = t.em and es = t.es in
+  let sc = t.sc in
+  for li = 0 to n - 1 do
+    fast_step sc (Array.unsafe_get am li) (Array.unsafe_get av li)
+      (Array.unsafe_get em li) (Array.unsafe_get es li)
+      (Array.unsafe_get bm li) (Array.unsafe_get bv li)
+      (Array.unsafe_get bem li) (Array.unsafe_get bes li);
+    Array.unsafe_set am li sc.rm;
+    Array.unsafe_set av li sc.rv;
+    Array.unsafe_set em li sc.re_m;
+    Array.unsafe_set es li sc.re_s
+  done

@@ -1,0 +1,82 @@
+(** Fused Clark-max kernels: staged flat-array operands, batched lane maxes,
+    and unboxed scalar folds for the sizer's hot loops.
+
+    The exact kernels replicate [Clark.max_exact ~rho:0] (with [Normal.pdf],
+    [Normal.cdf] and the A&S 7.1.26 [Erf.exact]) literal-for-literal, so
+    their results are bit-identical to the scalar reference — the contract
+    test/test_kernels.ml asserts. The fast kernels replicate
+    [Clark.max_fast] (2.6-sigma cutoff + CRC quadratic Φ) and additionally
+    accumulate certified error intervals per lane, using per-step constants
+    installed by the certifying caller (Absint.Budget — which depends on
+    this library, so the constants arrive as plain floats through
+    {!set_budget}).
+
+    A kernel instance is single-owner scratch: one [t] per window/engine,
+    never shared across domains. The record is exposed so hot loops can
+    stage operands and read accumulators without accessor calls. *)
+
+(** All-float scratch (flat float block — stores never allocate). *)
+type scalars = {
+  mutable rm : float;  (** scalar fold result: mean *)
+  mutable rv : float;  (** scalar fold result: variance *)
+  mutable re_m : float;  (** scalar fold certified |Δmean| (fast regime) *)
+  mutable re_s : float;  (** scalar fold certified |Δsigma| (fast regime) *)
+  mutable kc_mean : float;
+  mutable kc_sig : float;
+  mutable kb_mean : float;
+  mutable kb_sig : float;
+}
+
+type t = {
+  mutable cap : int;
+  mutable bm : float array;  (** staged operand means *)
+  mutable bv : float array;  (** staged operand variances *)
+  mutable bem : float array;  (** staged operand |Δmean| bounds (fast) *)
+  mutable bes : float array;  (** staged operand |Δsigma| bounds (fast) *)
+  mutable am : float array;  (** lane accumulator means *)
+  mutable av : float array;  (** lane accumulator variances *)
+  mutable em : float array;  (** lane accumulated |Δmean| bounds (fast) *)
+  mutable es : float array;  (** lane accumulated |Δsigma| bounds (fast) *)
+  sc : scalars;
+}
+
+val create : unit -> t
+
+val ensure : t -> int -> unit
+(** Grow every staging/accumulator array to hold at least [n] entries.
+    Existing contents are NOT preserved across a growth step — call before
+    staging, never between staging and evaluating. *)
+
+val set_budget :
+  t ->
+  cutoff_mean:float ->
+  cutoff_sig:float ->
+  blend_mean:float ->
+  blend_sig:float ->
+  unit
+(** Install the certified per-step error constants (mean and sigma error per
+    fast max, normalized by the operand spread) used by the fast kernels'
+    interval accounting. Callers pass [Absint.Budget.k_cutoff_mean],
+    [sqrt k_cutoff_var], [k_blend_mean], [sqrt k_blend_var]. Until installed
+    the constants are [+inf], so an uncertified fast run can never certify
+    a decision. *)
+
+val fold_into : t -> int -> unit
+(** [fold_into t n] folds the [n] staged operands [bm]/[bv].[0..n-1] with
+    the exact Clark max (accumulator first, matching every scalar fold in
+    the tree) and leaves the result in [t.sc.rm]/[t.sc.rv]. Bit-identical
+    to the corresponding [Clark.max_exact] fold. Raises on [n <= 0]. *)
+
+val max_lanes_exact : t -> int -> unit
+(** Lanewise accumulate: for each lane [li < n],
+    [(am, av).(li) <- max_exact((am, av).(li), (bm, bv).(li))]. One call
+    replaces [n] scalar maxes in the vectorized candidate drain. *)
+
+val fold_into_fast : t -> int -> unit
+(** Fast-regime fold of staged operands (with their [bem]/[bes] intervals);
+    results in [t.sc.rm]/[rv], certified interval in [t.sc.re_m]/[re_s].
+    Arithmetic replicates [Clark.max_fast]. *)
+
+val max_lanes_fast : t -> int -> unit
+(** Lanewise fast accumulate with per-lane interval accounting in
+    [em]/[es]. *)

@@ -34,6 +34,12 @@ let default_hot_entries =
     "Discrete_pdf.sum";
     "Discrete_pdf.max2";
     "Lut.query";
+    "Lut.query2";
+    "Memo.query2";
+    "Kernels.fold_into";
+    "Kernels.max_lanes_exact";
+    "Kernels.fold_into_fast";
+    "Kernels.max_lanes_fast";
   ]
 
 (* Everything whose result statserve will gate on being bit-identical

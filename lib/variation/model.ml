@@ -35,7 +35,14 @@ let create ?(systematic = 0.8) ?(random_floor = 0.15) ?(tau_ref = 5.0)
 let default = create ()
 
 let systematic_sigma t ~delay ~strength =
-  t.systematic *. delay /. Float.pow (Float.max strength 1e-9) t.size_exponent
+  (* e = 1 (the paper's default) short-circuits the libm pow: IEEE 754
+     guarantees pow(x, 1) = x exactly for every x, so the branch is
+     bit-identical and saves the transcendental on the hot arc path. *)
+  let base = Float.max strength 1e-9 in
+  let denom =
+    if t.size_exponent = 1.0 then base else Float.pow base t.size_exponent
+  in
+  t.systematic *. delay /. denom
 
 let random_sigma t = t.random_floor *. t.tau_ref
 

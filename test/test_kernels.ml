@@ -1,0 +1,369 @@
+(* statkern tests: the fused LUT/erf kernels against their scalar references.
+
+   Exact lanes must be BIT-identical to the scalar Clark fold (that is the
+   whole contract that lets the sizer switch engines freely); fast lanes
+   must stay inside their certified error intervals; the flattened LUT and
+   the fused/memoized query paths must be value-transparent; and at the
+   sizer level, fused exact runs must reproduce the scalar engine's final
+   sizing cell for cell, while tolerance runs may only deviate through an
+   audited (counted) accepted-on-budget decision. *)
+
+open Test_util
+module K = Numerics.Kernels
+module C = Numerics.Clark
+module L = Numerics.Lut
+
+let kern () =
+  let k = K.create () in
+  K.ensure k 64;
+  K.set_budget k ~cutoff_mean:Absint.Budget.k_cutoff_mean
+    ~cutoff_sig:(Float.sqrt Absint.Budget.k_cutoff_var)
+    ~blend_mean:Absint.Budget.kq_blend_mean
+    ~blend_sig:(Float.sqrt Absint.Budget.kq_blend_var);
+  k
+
+(* Operands from small-int pairs: means in [-40, 40] ps, variances in
+   (0, 9] ps² — the magnitudes the drain actually folds. *)
+let op_of_ints (m, v) =
+  C.moments
+    ~mean:((float_of_int m -. 4000.0) /. 100.0)
+    ~var:((float_of_int v +. 1.0) /. 100.0)
+
+let gen_ops n =
+  QCheck.(
+    list_of_size Gen.(1 -- n) (pair (int_bound 8000) (int_bound 899)))
+
+(* ---- exact kernels: bit-identity ---------------------------------------- *)
+
+let prop_fold_into_bit_identical =
+  qcheck ~count:500 "fold_into ≡ scalar max_exact fold, bit for bit"
+    (gen_ops 12) (fun ints ->
+      let ops = List.map op_of_ints ints in
+      let k = kern () in
+      List.iteri
+        (fun i o ->
+          k.K.bm.(i) <- o.C.mean;
+          k.K.bv.(i) <- o.C.var)
+        ops;
+      K.fold_into k (List.length ops);
+      (* accumulator is the FIRST operand of every scalar max, matching the
+         engines' fold direction *)
+      let exact =
+        List.fold_left (fun acc o -> C.max_exact acc o) (List.hd ops)
+          (List.tl ops)
+      in
+      k.K.sc.K.rm = exact.C.mean && k.K.sc.K.rv = exact.C.var)
+
+let prop_lanes_bit_identical =
+  qcheck ~count:300 "max_lanes_exact ≡ per-lane max_exact, bit for bit"
+    QCheck.(
+      list_of_size Gen.(1 -- 20)
+        (pair (pair (int_bound 8000) (int_bound 899))
+           (pair (int_bound 8000) (int_bound 899))))
+    (fun lanes ->
+      let k = kern () in
+      List.iteri
+        (fun li (a, b) ->
+          let a = op_of_ints a and b = op_of_ints b in
+          k.K.am.(li) <- a.C.mean;
+          k.K.av.(li) <- a.C.var;
+          k.K.bm.(li) <- b.C.mean;
+          k.K.bv.(li) <- b.C.var)
+        lanes;
+      K.max_lanes_exact k (List.length lanes);
+      List.for_all
+        (fun (li, (a, b)) ->
+          let m = C.max_exact (op_of_ints a) (op_of_ints b) in
+          k.K.am.(li) = m.C.mean && k.K.av.(li) = m.C.var)
+        (List.mapi (fun i l -> (i, l)) lanes))
+
+(* α pinned at and astride the 2.6 cutoff: the branchy region where an
+   execution-strategy bug would first show. sp = 1 exactly (var 0.5 + 0.5),
+   so α = mean difference, representable exactly. *)
+let exact_kernels_cutoff_boundary () =
+  List.iter
+    (fun alpha ->
+      let a = C.moments ~mean:alpha ~var:0.5
+      and b = C.moments ~mean:0.0 ~var:0.5 in
+      let k = kern () in
+      k.K.bm.(0) <- a.C.mean;
+      k.K.bv.(0) <- a.C.var;
+      k.K.bm.(1) <- b.C.mean;
+      k.K.bv.(1) <- b.C.var;
+      K.fold_into k 2;
+      let m = C.max_exact a b in
+      check_true
+        (Printf.sprintf "fold bit-identical at alpha=%g" alpha)
+        (k.K.sc.K.rm = m.C.mean && k.K.sc.K.rv = m.C.var);
+      k.K.am.(0) <- a.C.mean;
+      k.K.av.(0) <- a.C.var;
+      k.K.bm.(0) <- b.C.mean;
+      k.K.bv.(0) <- b.C.var;
+      K.max_lanes_exact k 1;
+      check_true
+        (Printf.sprintf "lane bit-identical at alpha=%g" alpha)
+        (k.K.am.(0) = m.C.mean && k.K.av.(0) = m.C.var))
+    [ 2.599; 2.6; 2.601; -2.599; -2.6; -2.601; 0.0; 1e-9 ]
+
+(* ---- fast kernels: certified interval soundness ------------------------- *)
+
+let prop_fast_fold_within_certified_interval =
+  qcheck ~count:500 "fold_into_fast error ≤ certified interval" (gen_ops 10)
+    (fun ints ->
+      let ops = List.map op_of_ints ints in
+      let n = List.length ops in
+      let k = kern () in
+      List.iteri
+        (fun i o ->
+          k.K.bm.(i) <- o.C.mean;
+          k.K.bv.(i) <- o.C.var;
+          k.K.bem.(i) <- 0.0;
+          k.K.bes.(i) <- 0.0)
+        ops;
+      K.fold_into_fast k n;
+      let fast_m = k.K.sc.K.rm
+      and fast_v = k.K.sc.K.rv
+      and em = k.K.sc.K.re_m
+      and es = k.K.sc.K.re_s in
+      let exact =
+        List.fold_left (fun acc o -> C.max_exact acc o) (List.hd ops)
+          (List.tl ops)
+      in
+      let pad = 1e-9 in
+      Float.abs (fast_m -. exact.C.mean) <= em +. pad
+      && Float.abs (Float.sqrt fast_v -. Float.sqrt exact.C.var) <= es +. pad)
+
+let prop_fast_lanes_within_certified_interval =
+  qcheck ~count:300 "max_lanes_fast error ≤ certified interval"
+    QCheck.(
+      list_of_size Gen.(1 -- 16)
+        (pair (pair (int_bound 8000) (int_bound 899))
+           (pair (int_bound 8000) (int_bound 899))))
+    (fun lanes ->
+      let k = kern () in
+      List.iteri
+        (fun li (a, b) ->
+          let a = op_of_ints a and b = op_of_ints b in
+          k.K.am.(li) <- a.C.mean;
+          k.K.av.(li) <- a.C.var;
+          k.K.em.(li) <- 0.0;
+          k.K.es.(li) <- 0.0;
+          k.K.bm.(li) <- b.C.mean;
+          k.K.bv.(li) <- b.C.var;
+          k.K.bem.(li) <- 0.0;
+          k.K.bes.(li) <- 0.0)
+        lanes;
+      K.max_lanes_fast k (List.length lanes);
+      List.for_all
+        (fun (li, (a, b)) ->
+          let m = C.max_exact (op_of_ints a) (op_of_ints b) in
+          let pad = 1e-9 in
+          Float.abs (k.K.am.(li) -. m.C.mean) <= k.K.em.(li) +. pad
+          && Float.abs (Float.sqrt k.K.av.(li) -. Float.sqrt m.C.var)
+             <= k.K.es.(li) +. pad)
+        (List.mapi (fun i l -> (i, l)) lanes))
+
+let budget_kq_constants_sane () =
+  let open Absint.Budget in
+  check_true "eps_pdf positive" (eps_pdf > 0.0);
+  check_true "eps_pdf covers phi(0) gap"
+    (eps_pdf >= 0.44 -. (1.0 /. Float.sqrt (2.0 *. Float.pi)));
+  check_true "kq_blend_mean ≥ blend mean with exact φ"
+    (kq_blend_mean >= k_blend_mean -. 1e-12);
+  check_true "kq_blend_var ≥ blend var with exact φ"
+    (kq_blend_var >= k_blend_var -. 1e-12);
+  check_true "kq_blend_mean small" (kq_blend_mean < 0.1);
+  check_true "kq_blend_var small" (kq_blend_var < 1.0)
+
+(* ---- flattened LUT ------------------------------------------------------ *)
+
+(* The seed nested-array bilinear implementation, replicated operation for
+   operation (same locate, same combination order), as the oracle the
+   flattened row-major storage must match bit for bit. *)
+let oracle_locate axis x =
+  let n = Array.length axis in
+  if n = 1 || x <= axis.(0) then (0, 0.0)
+  else if x >= axis.(n - 1) then (Stdlib.max 0 (n - 2), 1.0)
+  else
+    let rec bisect lo hi =
+      if hi - lo <= 1 then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if x < axis.(mid) then bisect lo mid else bisect mid hi
+    in
+    let i = bisect 0 (n - 1) in
+    (i, (x -. axis.(i)) /. (axis.(i + 1) -. axis.(i)))
+
+let oracle_query ~rows ~cols ~values ~row ~col =
+  let nr = Array.length rows and nc = Array.length cols in
+  let i, fr = oracle_locate rows row in
+  let j, fc = oracle_locate cols col in
+  let v00 = values.(i).(j) in
+  if nr = 1 && nc = 1 then v00
+  else
+    let i1 = Stdlib.min (nr - 1) (i + 1) in
+    let j1 = Stdlib.min (nc - 1) (j + 1) in
+    let v01 = values.(i).(j1)
+    and v10 = values.(i1).(j)
+    and v11 = values.(i1).(j1) in
+    ((1.0 -. fr) *. (((1.0 -. fc) *. v00) +. (fc *. v01)))
+    +. (fr *. (((1.0 -. fc) *. v10) +. (fc *. v11)))
+
+let lut_fixture () =
+  let rows = [| 0.5; 1.0; 2.0; 4.0; 8.0 |]
+  and cols = [| 1.0; 3.0; 9.0; 27.0 |] in
+  let f r c = (r *. 3.1) +. (c *. 0.7) +. (r *. c *. 0.013) in
+  let g r c = (r *. 1.7) +. (c *. 1.1) -. (r *. c *. 0.005) in
+  let values_f = Array.map (fun r -> Array.map (f r) cols) rows in
+  let a = L.create ~rows ~cols ~values:values_f in
+  let b = L.of_function ~rows ~cols g in
+  (rows, cols, values_f, a, b)
+
+let prop_flat_lut_matches_seed_bilinear =
+  qcheck ~count:500 "flat LUT query ≡ seed nested bilinear, bit for bit"
+    QCheck.(pair (int_bound 2000) (int_bound 2000))
+    (fun (ri, ci) ->
+      let rows, cols, values, a, _ = lut_fixture () in
+      (* sweep inside, on, and beyond both axes, including the clamp zone *)
+      let row = -1.0 +. (float_of_int ri /. 200.0)
+      and col = -1.0 +. (float_of_int ci /. 60.0) in
+      L.query a ~row ~col = oracle_query ~rows ~cols ~values ~row ~col)
+
+let prop_query2_is_query_pair =
+  qcheck ~count:500 "query2 ≡ (query, query), bit for bit"
+    QCheck.(pair (int_bound 2000) (int_bound 2000))
+    (fun (ri, ci) ->
+      let _, _, _, a, b = lut_fixture () in
+      let row = -1.0 +. (float_of_int ri /. 200.0)
+      and col = -1.0 +. (float_of_int ci /. 60.0) in
+      check_true "fixture tables share axes" (L.shares_axes a b);
+      let d, s = L.query2 a b ~row ~col in
+      d = L.query a ~row ~col && s = L.query b ~row ~col)
+
+let lut_query2_clamp_corners () =
+  let _, _, _, a, b = lut_fixture () in
+  List.iter
+    (fun (row, col) ->
+      let d, s = L.query2 a b ~row ~col in
+      check_true "clamped query2 = query pair"
+        (d = L.query a ~row ~col && s = L.query b ~row ~col))
+    [
+      (-5.0, -5.0); (100.0, 100.0); (-5.0, 100.0); (100.0, -5.0);
+      (0.5, 1.0); (8.0, 27.0); (1.0, 100.0); (100.0, 3.0);
+    ]
+
+(* ---- memo transparency -------------------------------------------------- *)
+
+let memo_is_transparent () =
+  let cell =
+    match Cells.Library.sizes_of_fn lib (Cells.Fn.And 2) with
+    | [||] -> Alcotest.fail "library has no AND2 cells"
+    | sizes -> sizes.(0)
+  in
+  (* 4 bits = 16 slots (the minimum): plenty of collisions/evictions over a
+     20×20 grid *)
+  let memo = Cells.Memo.create ~bits:4 () in
+  let h = Cells.Memo.cell_hash cell in
+  for i = 0 to 19 do
+    for j = 0 to 19 do
+      let slew = 0.3 +. (float_of_int i *. 0.37)
+      and load = 0.5 +. (float_of_int j *. 0.83) in
+      let d, s = Cells.Memo.query2 memo cell ~hash:h ~slew ~load in
+      let d', s' = Cells.Cell.query2 cell ~slew ~load in
+      check_true "memo query2 ≡ direct query2" (d = d' && s = s')
+    done
+  done;
+  (* repeat pass: now mostly hits — still transparent *)
+  for i = 0 to 19 do
+    let slew = 0.3 +. (float_of_int i *. 0.37) in
+    let d, s = Cells.Memo.query2 memo cell ~hash:h ~slew ~load:0.5 in
+    let d', s' = Cells.Cell.query2 cell ~slew ~load:0.5 in
+    check_true "memo hit ≡ direct query2" (d = d' && s = s')
+  done
+
+(* ---- sizer-level equivalence -------------------------------------------- *)
+
+let sizing_names c =
+  List.map
+    (fun g -> Cells.Cell.name (Netlist.Circuit.cell_exn c g))
+    (Netlist.Circuit.gates c)
+
+let optimize_named name ~fused ~tolerance =
+  let c = Benchgen.Iscas_like.build_exn ~lib name in
+  ignore (Core.Initial_sizing.apply ~lib c);
+  let config =
+    {
+      Core.Sizer.default_config with
+      Core.Sizer.fused_kernels = fused;
+      tolerance;
+      max_iterations = 3;
+    }
+  in
+  let r = Core.Sizer.optimize ~config ~lib c in
+  (sizing_names c, r)
+
+let fused_sizer_bit_identical () =
+  List.iter
+    (fun name ->
+      let scalar, rs = optimize_named name ~fused:false ~tolerance:0.0 in
+      let fused, rf = optimize_named name ~fused:true ~tolerance:0.0 in
+      check_true (name ^ ": identical final sizing") (scalar = fused);
+      check_int
+        (name ^ ": identical resize count")
+        rs.Core.Sizer.total_resizes rf.Core.Sizer.total_resizes)
+    [ "alu2"; "alu1" ]
+
+let tolerance_deviations_are_audited () =
+  Obs.Sink.reset ();
+  Obs.Sink.enable ();
+  Fun.protect ~finally:Obs.Sink.disable @@ fun () ->
+  let exact, _ = optimize_named "alu2" ~fused:true ~tolerance:0.0 in
+  let tol, _ = optimize_named "alu2" ~fused:true ~tolerance:2.0 in
+  let counter n =
+    match List.assoc_opt n (Obs.Counters.dump ()) with Some v -> v | None -> 0
+  in
+  let accepted = counter "window.tolerance.tolerated" in
+  let decided =
+    counter "window.tolerance.certified"
+    + accepted
+    + counter "window.tolerance.fallback"
+  in
+  check_true "tolerance regime actually ran" (decided > 0);
+  (* a deviation without an accepted-on-budget decision would be a silent
+     correctness loss — the one thing the regime promises never happens *)
+  if tol <> exact then
+    check_true "sizing deviation implies audited tolerated decision"
+      (accepted > 0)
+
+let () =
+  Alcotest.run "kernels"
+    [
+      ( "exact",
+        [
+          prop_fold_into_bit_identical;
+          prop_lanes_bit_identical;
+          Alcotest.test_case "cutoff boundary" `Quick
+            exact_kernels_cutoff_boundary;
+        ] );
+      ( "fast",
+        [
+          prop_fast_fold_within_certified_interval;
+          prop_fast_lanes_within_certified_interval;
+          Alcotest.test_case "kq constants sane" `Quick
+            budget_kq_constants_sane;
+        ] );
+      ( "lut",
+        [
+          prop_flat_lut_matches_seed_bilinear;
+          prop_query2_is_query_pair;
+          Alcotest.test_case "clamp corners" `Quick lut_query2_clamp_corners;
+        ] );
+      ( "memo",
+        [ Alcotest.test_case "transparent" `Quick memo_is_transparent ] );
+      ( "sizer",
+        [
+          Alcotest.test_case "fused ≡ scalar" `Quick fused_sizer_bit_identical;
+          Alcotest.test_case "tolerance audited" `Quick
+            tolerance_deviations_are_audited;
+        ] );
+    ]
