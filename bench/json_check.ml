@@ -9,7 +9,12 @@
    baseline: counters must match EXACTLY in both directions (an operation-
    count change means an algorithmic change and must be acknowledged by
    refreshing the baseline), while the timings block is compared
-   schema-only (wall-clock is machine noise; its shape is not). *)
+   schema-only (wall-clock is machine noise; its shape is not).
+
+   Conserve mode — `json_check --conserve BENCH_serve.json` — the
+   baseline-free work-conservation check: within one serve bench run, the
+   1-domain and 4-domain counter blocks must be exactly equal, the sizings
+   byte-identical, and the warm cache path faster than cold. *)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -116,11 +121,91 @@ let gate current_path baseline_path =
         refresh_recipe;
       exit 1
 
+(* ---- conserve mode -------------------------------------------------------- *)
+
+(* `json_check --conserve BENCH_serve.json`: the in-file work-conservation
+   check for the serve bench. Unlike --gate it needs no committed baseline —
+   the invariant is machine-independent: the 1-domain and 4-domain counter
+   blocks of the SAME run must be exactly equal (the parallel window engine
+   does identical work at every domain count), the sizings byte-identical,
+   and the warm cache path faster than the cold one. *)
+let conserve path =
+  let json =
+    match Obs.Json.parse_result (read_file path) with
+    | Ok v -> v
+    | Error (msg, at) ->
+        Printf.eprintf "%s: INVALID JSON at byte %d: %s\n" path at msg;
+        exit 1
+  in
+  let wc =
+    match Obs.Json.member "work_conservation" json with
+    | Some v -> v
+    | None ->
+        Printf.eprintf "%s: no \"work_conservation\" object\n" path;
+        exit 1
+  in
+  let block name =
+    match Obs.Json.member name wc with
+    | Some (Obs.Json.Obj kvs) ->
+        List.map
+          (fun (k, v) ->
+            match v with
+            | Obs.Json.Num f -> (k, int_of_float f)
+            | _ ->
+                Printf.eprintf "%s: %s.%s is not a number\n" path name k;
+                exit 1)
+          kvs
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    | _ ->
+        Printf.eprintf "%s: no \"%s\" counter block\n" path name;
+        exit 1
+  in
+  let d1 = block "domains1" and d4 = block "domains4" in
+  let complaints = ref [] in
+  let complain fmt = Printf.ksprintf (fun s -> complaints := s :: !complaints) fmt in
+  if List.map fst d1 <> List.map fst d4 then
+    complain "domains1/domains4 counter sets differ"
+  else
+    List.iter2
+      (fun (k, v1) (_, v4) ->
+        if v1 <> v4 then complain "counter %s: domains1 %d, domains4 %d" k v1 v4)
+      d1 d4;
+  let flag name =
+    match Obs.Json.member name wc with
+    | Some (Obs.Json.Bool b) -> b
+    | _ ->
+        complain "missing boolean %S" name;
+        false
+  in
+  if not (flag "equal") then complain "work_conservation.equal is false";
+  if not (flag "sizings_identical") then
+    complain "sizings diverged across domain counts";
+  (match
+     Option.bind (Obs.Json.member "warm_cold" json) (Obs.Json.member "ratio")
+   with
+  | Some (Obs.Json.Num r) when r > 1.0 -> ()
+  | Some (Obs.Json.Num r) -> complain "warm/cold ratio %.2f is not > 1" r
+  | _ -> complain "missing warm_cold.ratio");
+  match List.rev !complaints with
+  | [] ->
+      Printf.printf
+        "conserve gate: %s — %d counters equal across domain counts, sizings \
+         identical, warm cache faster\n"
+        path (List.length d1)
+  | cs ->
+      Printf.eprintf "work-conservation violation in %s\n" path;
+      List.iter (fun c -> Printf.eprintf "  %s\n" c) cs;
+      exit 1
+
 let () =
   match Array.to_list Sys.argv with
   | _ :: "--gate" :: [ current; baseline ] -> gate current baseline
   | _ :: "--gate" :: _ ->
       Printf.eprintf "usage: json_check --gate CURRENT BASELINE\n";
+      exit 2
+  | _ :: "--conserve" :: [ path ] -> conserve path
+  | _ :: "--conserve" :: _ ->
+      Printf.eprintf "usage: json_check --conserve FILE\n";
       exit 2
   | _ :: files ->
       if not (List.fold_left (fun ok f -> validate f && ok) true files) then

@@ -15,6 +15,9 @@
      dot      CIRCUIT FILE   Graphviz export with the WNSS cone highlighted
      table1 / fig1 / fig3 / fig4 / approx
                              regenerate the paper's experiments
+     serve                   resident sizing daemon on a Unix socket
+                             (serve/1 newline-delimited JSON; --client and
+                             --table1 talk to a running daemon)
      export   CIRCUIT FILE   write a suite circuit as .bench
      liberty  FILE           dump the generated cell library *)
 
@@ -106,16 +109,28 @@ let alpha_arg =
 let no_recover_arg =
   Arg.(value & flag & info [ "no-recover" ] ~doc:"Skip the area-recovery pass.")
 
+let window_domains_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "domains" ]
+        ~doc:
+          "Intra-run window-evaluation domains (0 = historical serial path). \
+           Any value yields byte-identical sizings; see the sizer docs.")
+
 let optimize_cmd =
-  let run verbose name alpha no_recover =
+  let run verbose name alpha no_recover domains =
     setup_logs verbose;
     let baseline = Experiments.Pipeline.prepare ~lib (fun () -> build_circuit name) in
     Fmt.pr "baseline (mean-optimized): mu=%.2f sigma=%.2f area=%.1f@."
       baseline.Experiments.Pipeline.moments.Numerics.Clark.mean
       (Numerics.Clark.sigma baseline.Experiments.Pipeline.moments)
       baseline.Experiments.Pipeline.area;
+    let config =
+      { Core.Sizer.default_config with window_domains = domains }
+    in
     let r =
-      Experiments.Pipeline.run_alpha ~recover:(not no_recover) ~lib baseline ~alpha
+      Experiments.Pipeline.run_alpha ~recover:(not no_recover) ~config ~lib
+        baseline ~alpha
     in
     Fmt.pr
       "alpha=%g: dmu=%+.1f%% dsigma=%+.1f%% sigma/mean %.4f -> %.4f darea=%+.1f%% \
@@ -128,7 +143,9 @@ let optimize_cmd =
       r.Experiments.Pipeline.resizes r.Experiments.Pipeline.runtime_s
   in
   Cmd.v (Cmd.info "optimize" ~doc:"Run StatisticalGreedy on a circuit")
-    Term.(const run $ verbose_arg $ circuit_arg $ alpha_arg $ no_recover_arg)
+    Term.(
+      const run $ verbose_arg $ circuit_arg $ alpha_arg $ no_recover_arg
+      $ window_domains_arg)
 
 let names_arg =
   Arg.(
@@ -140,9 +157,17 @@ let csv_arg =
   Arg.(value & opt (some string) None & info [ "csv" ] ~doc:"Write CSV to FILE.")
 
 let table1_cmd =
-  let run names csv =
+  let domains_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ]
+          ~doc:
+            "Round-robin the circuits across this many domains (clamped to \
+             the host's recommended domain count).")
+  in
+  let run names csv domains =
     let names = Option.value ~default:Benchgen.Iscas_like.names names in
-    let rows = Experiments.Table1.run ~names ~lib () in
+    let rows = Experiments.Table1.run ~names ~domains ~lib () in
     Fmt.pr "%a" Experiments.Table1.pp rows;
     Option.iter
       (fun path ->
@@ -151,7 +176,8 @@ let table1_cmd =
         Fmt.pr "wrote %s@." path)
       csv
   in
-  Cmd.v (Cmd.info "table1" ~doc:"Reproduce Table 1") Term.(const run $ names_arg $ csv_arg)
+  Cmd.v (Cmd.info "table1" ~doc:"Reproduce Table 1")
+    Term.(const run $ names_arg $ csv_arg $ domains_arg)
 
 let fig1_cmd =
   let run () = Fmt.pr "%a" Experiments.Fig1.pp (Experiments.Fig1.run ~lib ()) in
@@ -852,6 +878,92 @@ let flow_cmd =
     Term.(const run $ roots_arg $ entry_arg $ allow_file_arg $ format_arg
           $ strict_arg $ disable_arg $ severity_arg)
 
+let serve_cmd =
+  let socket_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Unix socket path to listen on.")
+  in
+  let domains_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ]
+          ~doc:"Domain-pool lanes for batch execution (1 = inline).")
+  in
+  let max_batch_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "max-batch" ] ~doc:"Cap on an explicit batch op's job count.")
+  in
+  let max_connections_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-connections" ]
+          ~doc:"Stop after serving this many connections (testing).")
+  in
+  let client_arg =
+    Arg.(
+      value & flag
+      & info [ "client" ]
+          ~doc:
+            "Client mode: pipeline request lines from stdin to an already \
+             running daemon at $(b,--socket) and print one response line \
+             per request.")
+  in
+  let table1_arg =
+    Arg.(
+      value & flag
+      & info [ "table1" ]
+          ~doc:
+            "Client mode: reproduce Table 1 through a running daemon (one \
+             table1 job per suite circuit, pipelined on one connection).")
+  in
+  let run verbose socket domains max_batch max_connections client table1 names
+      =
+    setup_logs verbose;
+    if table1 then
+      match Serve.Table1_client.run ~socket ~domains ?names () with
+      | Ok rows -> Fmt.pr "%a" Serve.Table1_client.pp rows
+      | Error msg -> Fmt.failwith "serve table1: %s" msg
+    else if client then begin
+      let lines = In_channel.input_lines In_channel.stdin in
+      let lines = List.filter (fun l -> String.trim l <> "") lines in
+      List.iter print_endline (Serve.Client.session ~socket lines)
+    end
+    else
+      Serve.Daemon.run
+        {
+          (Serve.Daemon.default_config ~socket) with
+          domains;
+          max_batch;
+          max_connections;
+        }
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the resident sizing daemon (or a client against one)"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Without $(b,--client)/$(b,--table1), listens on the Unix \
+              socket for newline-delimited serve/1 JSON requests: ping, \
+              info, analyze, optimize, table1, stats, batch, shutdown. \
+              Parsed netlists and generated libraries are cached by content \
+              hash across jobs; batched requests fan out across \
+              $(b,--domains) pool lanes. Sizings are byte-identical for \
+              every domain count.";
+           `P
+             "Example session: echo \
+              '{\"serve\":1,\"id\":1,\"op\":\"ping\"}' | statsize serve \
+              --socket /tmp/statserve.sock --client";
+         ])
+    Term.(
+      const run $ verbose_arg $ socket_arg $ domains_arg $ max_batch_arg
+      $ max_connections_arg $ client_arg $ table1_arg $ names_arg)
+
 let main =
   let doc = "statistical gate sizing for process-variation tolerance" in
   Cmd.group
@@ -871,7 +983,7 @@ let main =
     [ list_cmd; info_cmd; lint_cmd; check_cmd; races_cmd; flow_cmd; analyze_cmd; optimize_cmd; paths_cmd; slack_cmd;
       pca_cmd; rank_cmd; dot_cmd; table1_cmd; fig1_cmd; fig3_cmd; fig4_cmd;
       approx_cmd; ablation_cmd; export_cmd; verilog_cmd; sdf_cmd; power_cmd;
-      liberty_cmd ]
+      liberty_cmd; serve_cmd ]
 
 (* cmdliner's group parser cannot accept options placed before the
    subcommand name, so the observability flags are stripped from argv by

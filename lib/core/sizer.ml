@@ -65,6 +65,11 @@ type config = {
   tolerance : float;
       (* > 0 opts window verdicts into the ε-certified quadratic-Φ regime
          (requires [fused_kernels]); 0 = exact scoring everywhere *)
+  window_domains : int;
+      (* 0 (default) = the serial engine; >= 1 routes each iteration's
+         window sweep through the Parwin round loop (parallel-evaluate /
+         serial-commit, [window_domains - 1] worker domains) — final
+         sizings are byte-identical to serial for every domain count *)
 }
 
 let default_config =
@@ -86,6 +91,7 @@ let default_config =
     paranoid = false;
     fused_kernels = true;
     tolerance = 0.0;
+    window_domains = 0;
   }
 
 (* The "Original" baseline: pure mean delay, with a small per-move gain
@@ -218,6 +224,109 @@ let run_iteration config ~lib ?skip circuit full window stats_acc =
     List.length visited,
     List.length gates_on_path - List.length visited )
 
+(* Parallel-evaluate / serial-commit variant of {!run_iteration} (statserve
+   tentpole). Fixed-size chunks of the visited-gate sequence are evaluated
+   concurrently across the Parwin replica pool, then the verdicts are walked
+   serially in gate order. In [Sequential] mode the first commit-worthy
+   verdict is committed exactly as the serial engine would commit it, the
+   rest of the chunk is discarded (those gates re-chunk next round, so they
+   are re-evaluated against the post-commit state), and the commit is queued
+   for replica replay. Every verdict that is *used* was therefore computed
+   against state bit-identical to the serial engine's at the same point, so
+   the move sequence — and the final sizing — is byte-identical to serial
+   mode for every domain count. In [Batch] mode no commits happen during
+   the sweep, so chunks stream through without restarts (the serial Batch
+   semantics are already parallel). *)
+let run_iteration_par config ?skip circuit full window pool stats_acc =
+  let path =
+    match config.path_source with
+    | Dominant_path -> Wnss.trace ~model:config.model circuit full
+    | All_output_paths -> Wnss.trace_all_outputs ~model:config.model circuit full
+    | Critical_cone -> Wnss.critical_cone ~model:config.model circuit full
+  in
+  let gates_on_path =
+    List.filter (fun id -> not (Netlist.Circuit.is_input circuit id)) path
+  in
+  let visited =
+    match skip with
+    | None -> gates_on_path
+    | Some p -> List.filter (fun id -> not (p id)) gates_on_path
+  in
+  let w_stats = Window.fassta_stats window in
+  let cutoff0 = w_stats.Ssta.Fassta.cutoff_hits
+  and blended0 = w_stats.Ssta.Fassta.blended in
+  let gates = Array.of_list visited in
+  let n = Array.length gates in
+  let applied = ref [] in
+  let pending = ref [] in
+  let pos = ref 0 in
+  while !pos < n do
+    let len = Int.min Parwin.chunk_size (n - !pos) in
+    let verdicts =
+      Parwin.eval_chunk pool ~master:window ~circuit ~gates ~pos:!pos ~len
+    in
+    let committed = ref false in
+    let used = ref 0 in
+    while (not !committed) && !used < len do
+      let v = verdicts.(!used) in
+      incr used;
+      let gate = v.Parwin.gate in
+      let current = Netlist.Circuit.cell_exn circuit gate in
+      if not (Cells.Cell.equal v.Parwin.best current) then begin
+        let gain = v.Parwin.current_cost -. v.Parwin.best_cost in
+        if gain > config.move_threshold then begin
+          let moves =
+            (gate, current, v.Parwin.best)
+            :: List.map
+                 (fun (fi, cell) ->
+                   (fi, Netlist.Circuit.cell_exn circuit fi, cell))
+                 v.Parwin.co_resizes
+          in
+          match config.commit_mode with
+          | Sequential ->
+              List.iter
+                (fun (g, _, cell) -> Netlist.Circuit.set_cell circuit g cell)
+                moves;
+              Window.commit_incremental window
+                ~resized:(List.map (fun (g, _, _) -> g) moves);
+              Parwin.record_commit pool
+                (List.map (fun (g, _, cell) -> (g, cell)) moves);
+              applied := List.rev_append moves !applied;
+              committed := true
+          | Batch -> pending := List.rev_append moves !pending
+        end
+      end
+    done;
+    Parwin.count_discarded (len - !used);
+    pos := !pos + !used
+  done;
+  List.iter
+    (fun (gate, _, best) -> Netlist.Circuit.set_cell circuit gate best)
+    !pending;
+  if !pending <> [] then begin
+    let resized = List.map (fun (g, _, _) -> g) !pending in
+    Window.commit_incremental window ~resized;
+    Parwin.record_commit pool
+      (List.map (fun (g, _, cell) -> (g, cell)) !pending)
+  end;
+  stats_acc :=
+    ( fst !stats_acc + w_stats.Ssta.Fassta.cutoff_hits - cutoff0,
+      snd !stats_acc + w_stats.Ssta.Fassta.blended - blended0 );
+  ( List.rev_append !pending !applied,
+    List.length path,
+    n,
+    List.length gates_on_path - n )
+
+(* The parallel round loop replays commits on bit-identical replicas and
+   needs trial scores that are comparable across replicas: exact Global
+   scoring on the incremental engines. Anything else falls back to the
+   serial engine (the tolerance regime's audit trail is master-local, and
+   Windowed scores depend on per-window FASSTA state we don't replicate). *)
+let parallel_eligible config =
+  config.window_domains >= 1 && config.incremental
+  && config.evaluation = Window.Global
+  && config.tolerance = 0.0
+
 let optimize ?(ignore_lint = false) ?(prune = false) ?(config = default_config)
     ~lib circuit =
   Obs.Span.with_ "sizer.optimize" @@ fun () ->
@@ -293,6 +402,44 @@ let optimize ?(ignore_lint = false) ?(prune = false) ?(config = default_config)
      by the incremental commits; refreshed at each iteration start. The
      scratch path allocates a fresh window per iteration instead. *)
   let persistent = if config.incremental then Some (make_window full0) else None in
+  (* Parallel window pool (window_domains >= 1): replicas copy the circuit
+     inside Parwin.create, which returns only when every replica is built —
+     after this point the master may mutate the circuit freely. *)
+  let pool =
+    if config.window_domains >= 1 then
+      if parallel_eligible config then begin
+        if config.window_domains > Domain.recommended_domain_count () then
+          Log.debug (fun m ->
+              m "window_domains %d exceeds recommended_domain_count %d; \
+                 results are identical, only the speedup suffers"
+                config.window_domains
+                (Domain.recommended_domain_count ()));
+        Some
+          (Parwin.create ~domains:config.window_domains
+             {
+               Parwin.lib;
+               full_cfg;
+               mode = config.evaluation;
+               area_weight = config.area_weight;
+               fused = config.fused_kernels;
+               move_threshold = config.move_threshold;
+               depth = config.window_depth;
+               model = config.model;
+               objective = config.objective;
+               paranoid = config.paranoid;
+             }
+             circuit)
+      end
+      else begin
+        Parwin.note_fallback ();
+        Log.warn (fun m ->
+            m "window_domains %d ignored: parallel windows need incremental \
+               Global exact-mode evaluation; running the serial engine"
+              config.window_domains);
+        None
+      end
+    else None
+  in
   let best_cost =
     ref
       (match persistent with
@@ -351,8 +498,13 @@ let optimize ?(ignore_lint = false) ?(prune = false) ?(config = default_config)
       in
       let schedule, path_length, evaluated, skipped =
         Obs.Span.with_ "sizer.iteration" @@ fun () ->
-        run_iteration config ~lib ?skip:(dominance_skip ()) circuit full window
-          stats_acc
+        match pool with
+        | Some p ->
+            run_iteration_par config ?skip:(dominance_skip ()) circuit full
+              window p stats_acc
+        | None ->
+            run_iteration config ~lib ?skip:(dominance_skip ()) circuit full
+              window stats_acc
       in
       Obs.Counters.bump c_iterations;
       Obs.Counters.add c_windows_evaluated evaluated;
@@ -364,10 +516,11 @@ let optimize ?(ignore_lint = false) ?(prune = false) ?(config = default_config)
       | _ ->
           let full' =
             if config.incremental then begin
+              let resized = List.map (fun (g, _, _) -> g) schedule in
               ignore
                 (Ssta.Fullssta.update ~paranoid:config.paranoid
-                   ~refresh_electrical:false full
-                   ~resized:(List.map (fun (g, _, _) -> g) schedule));
+                   ~refresh_electrical:false full ~resized);
+              Option.iter (fun p -> Parwin.record_refresh p resized) pool;
               full
             end
             else Ssta.Fullssta.run ~config:full_cfg circuit
@@ -399,7 +552,11 @@ let optimize ?(ignore_lint = false) ?(prune = false) ?(config = default_config)
               (resizes + List.length schedule)
     end
   in
-  let stop_reason, history, total_resizes = loop 0 full0 0 [] 0 in
+  let stop_reason, history, total_resizes =
+    Fun.protect
+      ~finally:(fun () -> Option.iter Parwin.shutdown pool)
+      (fun () -> loop 0 full0 0 [] 0)
+  in
   restore !best_cells;
   let final_full = Ssta.Fullssta.run ~config:full_cfg circuit in
   (* Clamp-and-warn (LIB007): report, once per cell, every table that was

@@ -56,6 +56,21 @@ type config = {
           verdict is proven identical to exact scoring, accepted with a
           certified cost-regret bound ≤ [tolerance] ps (audited via
           {!Window.tolerance_trace}), or transparently re-scored exactly. *)
+  window_domains : int;
+      (** default 0: the serial engine, untouched. >= 1 evaluates each
+          iteration's window sweep through the {!Parwin} replica pool
+          ([window_domains - 1] worker domains plus the master lane):
+          fixed-size chunks of the visited-gate sequence are scored
+          concurrently on bit-identical replicas, then walked serially in
+          gate order — in [Sequential] mode the first commit-worthy verdict
+          commits exactly as the serial engine would and the rest of the
+          chunk is re-evaluated post-commit. Final sizings are
+          byte-identical to the serial engine for every domain count, and
+          the evaluation-work counters ([window.trial.*], [parwin.rounds],
+          [parwin.windows.*]) are domain-count invariant (the
+          work-conservation property gated in CI). Requires [incremental],
+          [Window.Global] evaluation and [tolerance = 0]; anything else
+          logs a warning, bumps [parwin.fallback] and runs serially. *)
 }
 
 val default_config : config

@@ -12,6 +12,12 @@ type row = {
 
 let default_alphas = [ 3.0; 9.0 ]
 
+(* Bumped whenever [run ?domains] asks for more workers than the host can
+   actually run in parallel and the request is clamped; the clamp used to be
+   silent, which made "--domains 4" on a 1-core CI box look like a real
+   multi-domain run. *)
+let c_domains_clamped = Obs.Counters.make "table1.domains.clamped"
+
 let run_circuit ?(alphas = default_alphas) ?sizer_config ~lib
     (entry : Benchgen.Iscas_like.entry) =
   let baseline = Pipeline.prepare ~lib (fun () -> entry.build ~lib) in
@@ -55,7 +61,18 @@ let run ?(alphas = default_alphas) ?sizer_config ?(names = Benchgen.Iscas_like.n
     let entries = Array.of_list entries in
     let n = Array.length entries in
     let results = Array.make n None in
-    let workers = Int.min domains (Int.max 1 n) in
+    let cores = Domain.recommended_domain_count () in
+    let workers = Int.min (Int.min domains cores) (Int.max 1 n) in
+    if workers < domains then begin
+      Obs.Counters.bump c_domains_clamped;
+      Fmt.epr
+        "[table1] clamping --domains %d to %d (%d circuit%s, %d core%s \
+         recommended)@."
+        domains workers n
+        (if n = 1 then "" else "s")
+        cores
+        (if cores = 1 then "" else "s")
+    end;
     List.init workers (fun w ->
         Domain.spawn (fun () ->
             let acc = ref [] in

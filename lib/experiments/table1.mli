@@ -28,7 +28,10 @@ val run :
   row list
 (** [domains] (default 1) round-robins the independent circuits across that
     many stdlib domains; row order matches the sequential run, and the
-    default never spawns, so test determinism is unchanged. *)
+    default never spawns, so test determinism is unchanged. Requests beyond
+    [Domain.recommended_domain_count ()] (or beyond the circuit count) are
+    clamped with a stderr note and a ["table1.domains.clamped"] counter bump
+    rather than silently oversubscribing a small host. *)
 
 val pp : row list Fmt.t
 val to_csv : row list -> string

@@ -1,0 +1,29 @@
+(** Minimal [serve/1] client: connect to a daemon's Unix socket, pipeline
+    request lines, read responses in order. *)
+
+type t
+
+val connect : socket:string -> t
+(** Raises [Unix.Unix_error] if nothing listens on [socket]. *)
+
+val send_line : t -> string -> unit
+(** Ship one request line (newline appended). Does not wait for the
+    response — pipelining consecutive sends is how clients exercise the
+    daemon's batching window. *)
+
+val recv_line : t -> string option
+(** Next response line; [None] once the daemon closes the connection. *)
+
+val request : t -> string -> string
+(** [send_line] + [recv_line], raising [Failure] on EOF. *)
+
+val request_json : t -> Obs.Json.t -> Obs.Json.t
+(** [request] with encoding/decoding at both ends. *)
+
+val close : t -> unit
+
+val with_connection : socket:string -> (t -> 'a) -> 'a
+
+val session : socket:string -> string list -> string list
+(** Pipeline all request lines, then collect exactly one response per line
+    (one connection). *)

@@ -1,0 +1,31 @@
+(** The resident sizing daemon: accepts sequential client connections on a
+    Unix socket, reads newline-delimited [serve/1] requests, drains every
+    complete line already buffered into one batch, executes the batch
+    through the {!Pool} domain pool (responses keep request order), and
+    writes one response line per request.
+
+    Robustness contract (test/test_serve.ml): a malformed line, an
+    oversized request or batch, a cache-hash collision, or a job exception
+    each produce a typed [serve/1] error response; a client that
+    disconnects mid-job (SIGPIPE is ignored, [EPIPE] handled) only ends
+    that connection. Only the [shutdown] op — or [max_connections], a test
+    hook — stops the daemon. *)
+
+type config = {
+  socket : string;  (** Unix socket path; any stale file is replaced *)
+  domains : int;  (** pool lanes for batch execution (1 = inline) *)
+  max_batch : int;  (** cap on an explicit ["batch"] op's job count *)
+  max_request_bytes : int;  (** per-line byte cap *)
+  max_connections : int option;
+      (** stop after serving this many connections (test hook) *)
+  hash : (string -> string) option;
+      (** cache-hash override (test hook for the collision path) *)
+}
+
+val default_config : socket:string -> config
+(** domains 1, max_batch 64, max_request_bytes 8 MiB, no connection cap,
+    stock MD5 content hash. *)
+
+val run : config -> unit
+(** Blocks until a [shutdown] op (or the connection cap) is reached. The
+    socket file is removed on the way out. *)

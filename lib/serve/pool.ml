@@ -1,0 +1,33 @@
+let c_batches = Obs.Counters.make "serve.pool.batches"
+let c_tasks = Obs.Counters.make "serve.pool.tasks"
+let c_spawns = Obs.Counters.make "serve.pool.spawns"
+
+let map ~domains tasks =
+  let tasks = Array.of_list tasks in
+  let n = Array.length tasks in
+  Obs.Counters.bump c_batches;
+  Obs.Counters.add c_tasks n;
+  if n = 0 then []
+  else begin
+    let next = Atomic.make 0 in
+    let run_lane () =
+      let rec go acc =
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n then acc else go ((i, tasks.(i) ()) :: acc)
+      in
+      go []
+    in
+    let spawned = Int.max 0 (Int.min (domains - 1) (n - 1)) in
+    Obs.Counters.add c_spawns spawned;
+    let workers = Array.init spawned (fun _ -> Domain.spawn run_lane) in
+    let mine = run_lane () in
+    let all =
+      Array.fold_left
+        (fun acc d -> List.rev_append (Domain.join d) acc)
+        mine workers
+    in
+    let out = Array.make n None in
+    List.iter (fun (i, r) -> out.(i) <- Some r) all;
+    Array.to_list out
+    |> List.map (function Some r -> r | None -> assert false)
+  end

@@ -1,0 +1,10 @@
+(** Shared-nothing domain pool for serve job batches. [map] fans the tasks
+    out across up to [domains] lanes (the calling domain is lane 0; at
+    [domains <= 1] everything runs inline) with an atomic work-stealing
+    index; each lane accumulates its results privately and hands them back
+    through [Domain.join], so no result cell is ever written from two
+    domains. Output order matches input order regardless of scheduling. *)
+
+val map : domains:int -> (unit -> 'a) list -> 'a list
+(** A task that raises kills the whole map (the daemon wraps every job so
+    its tasks never raise). *)

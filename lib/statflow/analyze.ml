@@ -42,8 +42,10 @@ let default_hot_entries =
     "Kernels.max_lanes_fast";
   ]
 
-(* Everything whose result statserve will gate on being bit-identical
-   across serial and parallel runs. *)
+(* Everything whose result statserve gates on being bit-identical across
+   serial and parallel runs — the sizing/SSTA pipeline, the parallel window
+   engine's chunk evaluator, and the serve layer that carries results over
+   the wire (protocol encode/decode, the job pool, job execution). *)
 let default_det_entries =
   [
     "Table1.run";
@@ -53,6 +55,11 @@ let default_det_entries =
     "Electrical.update";
     "Fullssta.update";
     "Sizer.optimize";
+    "Parwin.eval_chunk";
+    "Pool.map";
+    "Protocol.parse_line";
+    "Protocol.render_response";
+    "Jobs.run";
   ]
 
 type allow_entry = Srcmodel.Allow.entry

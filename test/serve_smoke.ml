@@ -1,0 +1,103 @@
+(* CI serve-smoke gate: drive a scripted multi-job session against a live
+   statserve daemon and fail unless --domains 1 and --domains 4 produce
+   byte-identical sizings on two quick circuits. This is the end-to-end
+   flavor of test_serve's determinism test — socket, batching, pool and
+   caches all in the loop. *)
+
+let circuits = [ "alu1"; "alu2" ]
+let fails = ref 0
+
+let failf fmt =
+  Printf.ksprintf
+    (fun msg ->
+      incr fails;
+      prerr_endline ("serve-smoke: FAIL " ^ msg))
+    fmt
+
+let field_string name json =
+  match
+    Option.bind (Obs.Json.member "result" json) (Obs.Json.member name)
+  with
+  | Some (Obs.Json.Str s) -> Some s
+  | _ -> None
+
+let () =
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "serve-smoke-%d.sock" (Unix.getpid ()))
+  in
+  let daemon =
+    Domain.spawn (fun () ->
+        Serve.Daemon.run
+          { (Serve.Daemon.default_config ~socket) with domains = 2 })
+  in
+  let rec wait tries =
+    if Sys.file_exists socket then ()
+    else if tries = 0 then begin
+      prerr_endline "serve-smoke: daemon socket never appeared";
+      exit 1
+    end
+    else begin
+      Unix.sleepf 0.05;
+      wait (tries - 1)
+    end
+  in
+  wait 100;
+  let request name domains =
+    Printf.sprintf
+      {|{"serve":1,"id":"%s-d%d","op":"optimize","circuit":"%s","alpha":3.0,"domains":%d,"max_iterations":4}|}
+      name domains name domains
+  in
+  (* one pipelined session: for each circuit, the same job at 1 and 4
+     window domains (plus a cold/warm info pair for the cache path) *)
+  let lines =
+    List.concat_map
+      (fun name ->
+        [
+          Printf.sprintf {|{"serve":1,"id":"info-%s","op":"info","circuit":"%s"}|}
+            name name;
+          request name 1;
+          request name 4;
+        ])
+      circuits
+  in
+  let responses = Serve.Client.session ~socket lines in
+  let digests = Hashtbl.create 8 in
+  List.iter
+    (fun line ->
+      let json = Obs.Json.parse_exn line in
+      let id =
+        match Obs.Json.member "id" json with
+        | Some (Obs.Json.Str s) -> s
+        | _ -> "?"
+      in
+      match Obs.Json.member "ok" json with
+      | Some (Obs.Json.Bool true) ->
+          Option.iter
+            (fun d -> Hashtbl.replace digests id d)
+            (field_string "sizing_digest" json)
+      | _ -> failf "job %s errored: %s" id line)
+    responses;
+  List.iter
+    (fun name ->
+      match
+        ( Hashtbl.find_opt digests (Printf.sprintf "%s-d1" name),
+          Hashtbl.find_opt digests (Printf.sprintf "%s-d4" name) )
+      with
+      | Some d1, Some d4 when String.equal d1 d4 ->
+          Printf.printf "serve-smoke: %-6s domains 1 = domains 4 (%s)\n" name d1
+      | Some d1, Some d4 ->
+          failf "%s sizings diverge: domains 1 %s vs domains 4 %s" name d1 d4
+      | _ -> failf "%s: missing optimize responses" name)
+    circuits;
+  (match
+     Serve.Client.session ~socket [ {|{"serve":1,"id":0,"op":"shutdown"}|} ]
+   with
+  | [ _ ] -> ()
+  | _ -> failf "shutdown not acknowledged");
+  Domain.join daemon;
+  if !fails > 0 then begin
+    Printf.eprintf "serve-smoke: %d failure(s)\n" !fails;
+    exit 1
+  end;
+  print_endline "serve-smoke: PASS"

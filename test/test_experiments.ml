@@ -77,6 +77,32 @@ let table1_row_small () =
         (String.length (Experiments.Table1.to_csv [ row ]) > 100)
   | _ -> Alcotest.fail "expected one run"
 
+(* The domains clamp must be loud: asking for more workers than the host's
+   recommended domain count (always true for [cores + 1]) has to bump the
+   table1.domains.clamped counter instead of silently shrinking. Runs one
+   tiny 1-iteration job so the clamp path — not the sizing — dominates.
+   On a 1-core box this is also exactly the CI situation the counter was
+   added for; note it rather than skipping. *)
+let table1_domains_clamp () =
+  let cores = Domain.recommended_domain_count () in
+  if cores = 1 then
+    prerr_endline "test_experiments: single core, clamp is the expected path";
+  let sizer_config = { Core.Sizer.default_config with max_iterations = 1 } in
+  Obs.Sink.reset ();
+  Obs.Sink.enable ();
+  Fun.protect ~finally:Obs.Sink.disable @@ fun () ->
+  let rows =
+    Experiments.Table1.run ~alphas:[ 3.0 ] ~sizer_config ~names:[ "alu2" ]
+      ~domains:(cores + 1) ~lib ()
+  in
+  check_int "one row" 1 (List.length rows);
+  let clamped =
+    Option.value ~default:0
+      (List.assoc_opt "table1.domains.clamped" (Obs.Counters.dump ()))
+  in
+  check_int "clamp counted" 1 clamped;
+  Obs.Sink.reset ()
+
 let () =
   Alcotest.run "experiments"
     [
@@ -94,5 +120,8 @@ let () =
       ( "pipeline",
         [ Alcotest.test_case "end to end (alu2)" `Slow pipeline_end_to_end_small ] );
       ( "table1",
-        [ Alcotest.test_case "single row (alu2)" `Slow table1_row_small ] );
+        [
+          Alcotest.test_case "single row (alu2)" `Slow table1_row_small;
+          Alcotest.test_case "domains clamp is loud" `Slow table1_domains_clamp;
+        ] );
     ]
